@@ -1,0 +1,126 @@
+// Command alsrun runs one approximate-logic-synthesis flow on a circuit.
+//
+// Usage:
+//
+//	alsrun -flow dpsa -metric mse -threshold 1e4 -o out.blif in.blif
+//	alsrun -flow dp -metric er -threshold 0.01 -sasimi in.aag
+//
+// Input format is chosen by extension (.aag = ASCII AIGER, anything else =
+// BLIF). When -threshold is not given, the paper's median threshold for
+// the metric is used (R = 2^(POs/3): MED→R, MSE→R², ER→1%).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dpals"
+)
+
+func main() {
+	flowName := flag.String("flow", "dpsa", "flow: conventional, vecbee, accals, dp, dpsa")
+	metricName := flag.String("metric", "mse", "error metric: er, mse, med")
+	threshold := flag.Float64("threshold", -1, "error budget (ER: fraction; MSE/MED: absolute; <0: paper median)")
+	patterns := flag.Int("patterns", 8192, "Monte-Carlo patterns")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	threads := flag.Int("threads", 1, "evaluation worker threads")
+	sasimi := flag.Bool("sasimi", false, "enable SASIMI signal-substitution LACs")
+	depth := flag.Int("l", 0, "VECBEE depth limit (0 = exact)")
+	out := flag.String("o", "", "output file (.blif or .aag); empty: no output written")
+	maxIters := flag.Int("max-iters", 0, "cap on applied LACs (0 = unlimited)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: alsrun [flags] <circuit.blif|circuit.aag>")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	c, err := load(flag.Arg(0))
+	check(err)
+
+	flows := map[string]dpals.Flow{
+		"conventional": dpals.Conventional, "vecbee": dpals.VECBEE,
+		"accals": dpals.AccALS, "dp": dpals.DP, "dpsa": dpals.DPSA,
+	}
+	flow, ok := flows[strings.ToLower(*flowName)]
+	if !ok {
+		check(fmt.Errorf("unknown flow %q", *flowName))
+	}
+	metrics := map[string]dpals.Metric{"er": dpals.ER, "mse": dpals.MSE, "med": dpals.MED, "mhd": dpals.MHD}
+	m, ok := metrics[strings.ToLower(*metricName)]
+	if !ok {
+		check(fmt.Errorf("unknown metric %q", *metricName))
+	}
+	thr := *threshold
+	if thr < 0 {
+		R := dpals.ReferenceError(c)
+		switch m {
+		case dpals.ER:
+			thr = 0.01
+		case dpals.MSE:
+			thr = R * R
+		default:
+			thr = R
+		}
+	}
+
+	fmt.Printf("input : %s (%d PIs, %d POs, %d gates, depth %d)\n",
+		flag.Arg(0), c.NumInputs(), c.NumOutputs(), c.NumGates(), c.Depth())
+	fmt.Printf("flow  : %v  metric %v ≤ %g  patterns %d  threads %d\n", flow, m, thr, *patterns, *threads)
+
+	res, err := dpals.Approximate(c, dpals.Options{
+		Flow: flow, Metric: m, Threshold: thr,
+		Patterns: *patterns, Seed: *seed, Threads: *threads,
+		UseConstLACs: true, UseSASIMILACs: *sasimi,
+		DepthLimit: *depth, MaxIters: *maxIters,
+	})
+	check(err)
+
+	fmt.Printf("result: %d gates (%.1f%% of original), error %g\n",
+		res.Circuit.NumGates(), 100*float64(res.Circuit.NumGates())/float64(c.NumGates()), res.Error)
+	fmt.Printf("        area ratio %.1f%%  delay ratio %.1f%%  ADP ratio %.1f%%\n",
+		100*res.AreaRatio, 100*res.DelayRatio, 100*res.ADPRatio)
+	fmt.Printf("        %d LACs applied (%d comprehensive + %d incremental analyses, %d rollbacks) in %v\n",
+		res.Stats.Applied, res.Stats.Comprehensive, res.Stats.Incremental, res.Stats.Rollbacks, res.Stats.Runtime)
+	fmt.Printf("        step times: cuts %v, CPM %v, evaluation %v\n",
+		res.Stats.CutTime, res.Stats.CPMTime, res.Stats.EvalTime)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		check(err)
+		defer f.Close()
+		switch {
+		case strings.HasSuffix(*out, ".aag"):
+			check(res.Circuit.WriteAIGER(f))
+		case strings.HasSuffix(*out, ".aig"):
+			check(res.Circuit.WriteAIGERBinary(f))
+		case strings.HasSuffix(*out, ".v"):
+			check(res.Circuit.WriteVerilog(f))
+		default:
+			check(res.Circuit.WriteBLIF(f))
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func load(path string) (*dpals.Circuit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".aag") {
+		return dpals.ReadAIGER(f)
+	}
+	return dpals.ReadBLIF(f)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alsrun:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,50 @@
+// Command genbench generates the built-in benchmark suite as BLIF and
+// ASCII-AIGER files, so the circuits can be inspected or fed to external
+// tools.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"dpals"
+)
+
+func main() {
+	dir := flag.String("o", "bench", "output directory")
+	scaled := flag.Bool("scaled", true, "scaled-down circuit sizes")
+	format := flag.String("format", "both", "output format: blif, aag, or both")
+	flag.Parse()
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, b := range dpals.BenchmarkSuite(*scaled) {
+		if *format == "blif" || *format == "both" {
+			write(filepath.Join(*dir, b.Name+".blif"), b.Circuit.WriteBLIF)
+		}
+		if *format == "aag" || *format == "both" {
+			write(filepath.Join(*dir, b.Name+".aag"), b.Circuit.WriteAIGER)
+		}
+		fmt.Printf("%-10s %5d gates  (%s)\n", b.Name, b.Circuit.NumGates(), b.Function)
+	}
+}
+
+func write(path string, fn func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genbench:", err)
+	os.Exit(1)
+}

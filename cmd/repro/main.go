@@ -1,0 +1,66 @@
+// Command repro regenerates the paper's evaluation tables and figures.
+//
+//	repro -all                # Table I, Fig. 4, Table II (both), Table III
+//	repro -table2small -quick # fast smoke run of the small-circuit table
+//	repro -scaled=false ...   # paper-size circuits (hours of runtime)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dpals/internal/repro"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "print benchmark information (Table I)")
+	fig4 := flag.Bool("fig4", false, "run the candidate-set experiment (Fig. 4)")
+	t2s := flag.Bool("table2small", false, "run Table II, small circuits (MSE)")
+	t2l := flag.Bool("table2large", false, "run Table II, large circuits (MSE)")
+	t3 := flag.Bool("table3", false, "run Table III (AccALS vs DP-SA, ER and MED)")
+	all := flag.Bool("all", false, "run everything")
+	quick := flag.Bool("quick", false, "subset of circuits, single thresholds")
+	median := flag.Bool("median", false, "median threshold only (all circuits)")
+	scaled := flag.Bool("scaled", true, "scaled-down circuit sizes (false: paper sizes)")
+	patterns := flag.Int("patterns", 0, "Monte-Carlo patterns (0: 8192, quick: 2048)")
+	threads := flag.Int("threads", 0, "threads for Table II (0: GOMAXPROCS)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	cap := flag.Int("cap", 0, "cap applied LACs per run on large circuits (0: unlimited)")
+	flag.Parse()
+
+	cfg := repro.Config{
+		Out: os.Stdout, Scaled: *scaled, Quick: *quick, MedianOnly: *median,
+		Patterns: *patterns, Threads: *threads, Seed: *seed, CapIters: *cap,
+	}
+	ran := false
+	if *table1 || *all {
+		repro.TableI(cfg)
+		fmt.Println()
+		ran = true
+	}
+	if *fig4 || *all {
+		repro.Fig4(cfg)
+		fmt.Println()
+		ran = true
+	}
+	if *t2s || *all {
+		repro.TableII(cfg, true)
+		fmt.Println()
+		ran = true
+	}
+	if *t2l || *all {
+		repro.TableII(cfg, false)
+		fmt.Println()
+		ran = true
+	}
+	if *t3 || *all {
+		repro.TableIII(cfg)
+		fmt.Println()
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

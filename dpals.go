@@ -1,0 +1,494 @@
+// Package dpals is an approximate logic synthesis (ALS) library built
+// around the dual-phase iterative framework of "Efficient Approximate
+// Logic Synthesis with Dual-Phase Iterative Framework" (DATE 2025).
+//
+// Given a combinational circuit and a statistical error budget (error
+// rate, mean squared error, or mean error distance), dpals iteratively
+// applies local approximate changes — constant replacements and SASIMI
+// signal substitutions — to shrink the circuit while keeping the error
+// under the budget. The dual-phase engine (flows DP and DPSA) performs one
+// comprehensive error analysis per round and then cheap incremental
+// analyses restricted to a candidate node set, which is what makes large
+// circuits tractable; the conventional, VECBEE and AccALS flows are
+// provided as baselines.
+//
+// Quick start:
+//
+//	c := dpals.NewMultiplier(8, 8, false)
+//	res, err := dpals.Approximate(c, dpals.Options{
+//	    Flow:      dpals.DPSA,
+//	    Metric:    dpals.MSE,
+//	    Threshold: 1e4,
+//	})
+//	// res.Circuit is the approximate circuit; res.ADPRatio its
+//	// area-delay product relative to the original.
+package dpals
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"dpals/internal/aig"
+	"dpals/internal/aiger"
+	"dpals/internal/bitvec"
+	"dpals/internal/blif"
+	"dpals/internal/core"
+	"dpals/internal/equiv"
+	"dpals/internal/gen"
+	"dpals/internal/lac"
+	"dpals/internal/lutmap"
+	"dpals/internal/metric"
+	"dpals/internal/sim"
+	"dpals/internal/techmap"
+	"dpals/internal/verilog"
+)
+
+// Metric selects the statistical error metric.
+type Metric int
+
+// Supported error metrics.
+const (
+	// ER is the error rate: the fraction of input patterns for which any
+	// output bit differs from the exact circuit.
+	ER Metric = iota
+	// MSE is the mean squared error of the numeric output value.
+	MSE
+	// MED is the mean error distance (mean absolute numeric deviation).
+	MED
+	// MHD is the mean Hamming distance: the average number of output bits
+	// that differ from the exact circuit per pattern.
+	MHD
+)
+
+func (m Metric) String() string { return metric.Kind(m).String() }
+
+// Flow selects the synthesis algorithm.
+type Flow int
+
+// Supported flows.
+const (
+	// Conventional: one LAC per iteration, full (comprehensive) error
+	// analysis every iteration — the enhanced-VECBEE baseline.
+	Conventional Flow = iota
+	// VECBEE: the original one-cut VECBEE baseline; see Options.DepthLimit.
+	VECBEE
+	// AccALS: multiple LACs per iteration with validation and rollback.
+	AccALS
+	// DP: the dual-phase framework (the paper's contribution).
+	DP
+	// DPSA: DP plus the two self-adaption techniques.
+	DPSA
+)
+
+func (f Flow) String() string { return core.Flow(f).String() }
+
+// Circuit is an immutable combinational circuit handle.
+type Circuit struct {
+	g       *aig.Graph
+	weights []float64 // recommended PO weights (nil: unsigned)
+}
+
+// Name returns the circuit's name.
+func (c *Circuit) Name() string { return c.g.Name }
+
+// NumInputs returns the number of primary inputs.
+func (c *Circuit) NumInputs() int { return c.g.NumPIs() }
+
+// NumOutputs returns the number of primary outputs.
+func (c *Circuit) NumOutputs() int { return c.g.NumPOs() }
+
+// NumGates returns the number of AND gates in the AIG (the paper's #Nd).
+func (c *Circuit) NumGates() int { return c.g.NumAnds() }
+
+// Depth returns the logic depth in AND levels.
+func (c *Circuit) Depth() int { return int(c.g.Depth()) }
+
+// Weights returns the recommended numeric PO weights, or nil for plain
+// unsigned LSB-first interpretation.
+func (c *Circuit) Weights() []float64 { return c.weights }
+
+// SetWeights overrides the numeric PO weights used by MSE/MED.
+func (c *Circuit) SetWeights(w []float64) { c.weights = w }
+
+// Area returns the mapped cell area under the built-in generic library.
+func (c *Circuit) Area() float64 { return techmap.Map(c.g, techmap.GenericLibrary()).Area }
+
+// Delay returns the mapped critical-path delay under the built-in library.
+func (c *Circuit) Delay() float64 { return techmap.Map(c.g, techmap.GenericLibrary()).Delay }
+
+// ADP returns the area-delay product under the built-in library.
+func (c *Circuit) ADP() float64 { return techmap.Map(c.g, techmap.GenericLibrary()).ADP() }
+
+// LUTs returns the k-input LUT count of the circuit under the built-in
+// FPGA-style mapper — an alternative area model for ALS results.
+func (c *Circuit) LUTs(k int) int { return lutmap.Map(c.g, lutmap.Options{K: k}).LUTs }
+
+// WriteBLIF writes the circuit in BLIF format.
+func (c *Circuit) WriteBLIF(w io.Writer) error { return blif.Write(w, c.g) }
+
+// WriteAIGER writes the circuit in ASCII AIGER format.
+func (c *Circuit) WriteAIGER(w io.Writer) error { return aiger.Write(w, c.g) }
+
+// WriteAIGERBinary writes the circuit in binary AIGER format.
+func (c *Circuit) WriteAIGERBinary(w io.Writer) error { return aiger.WriteBinary(w, c.g) }
+
+// WriteVerilog writes the circuit as a gate-level structural Verilog
+// module.
+func (c *Circuit) WriteVerilog(w io.Writer) error { return verilog.Write(w, c.g) }
+
+// String summarises the circuit.
+func (c *Circuit) String() string { return c.g.String() }
+
+// Graph exposes the underlying AIG for advanced use within this module.
+func (c *Circuit) Graph() *aig.Graph { return c.g }
+
+// FromGraph wraps an existing AIG as a Circuit.
+func FromGraph(g *aig.Graph) *Circuit { return &Circuit{g: g} }
+
+// ReadBLIF parses a combinational BLIF model.
+func ReadBLIF(r io.Reader) (*Circuit, error) {
+	g, err := blif.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Circuit{g: g}, nil
+}
+
+// ReadAIGER parses an ASCII AIGER (aag) model.
+func ReadAIGER(r io.Reader) (*Circuit, error) {
+	g, err := aiger.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Circuit{g: g}, nil
+}
+
+// Generators ----------------------------------------------------------------
+
+// NewAdder returns an n-bit ripple adder (2n inputs, n+1 outputs).
+func NewAdder(n int) *Circuit { return &Circuit{g: gen.Adder(n)} }
+
+// NewMultiplier returns an n×m multiplier; signed selects two's-complement
+// semantics and sets matching output weights.
+func NewMultiplier(n, m int, signed bool) *Circuit {
+	if signed {
+		g := gen.MultS(n, m)
+		return &Circuit{g: g, weights: metric.TwosComplementWeights(g.NumPOs())}
+	}
+	return &Circuit{g: gen.MultU(n, m)}
+}
+
+// NewALU returns a w-bit ALU with flags.
+func NewALU(w int) *Circuit { return &Circuit{g: gen.ALU(w)} }
+
+// NewSqrt returns an n-bit integer square-root unit.
+func NewSqrt(n int) *Circuit { return &Circuit{g: gen.Sqrt(n)} }
+
+// NewSquare returns an n-bit squaring unit.
+func NewSquare(n int) *Circuit { return &Circuit{g: gen.Square(n)} }
+
+// NewSin returns a w-bit fixed-point sine unit (CORDIC).
+func NewSin(w int) *Circuit { return &Circuit{g: gen.Sin(w)} }
+
+// NewLog2 returns a log2 unit with n input bits and f fraction bits.
+func NewLog2(n, f int) *Circuit { return &Circuit{g: gen.Log2(n, f)} }
+
+// NewButterfly returns a radix-2 FFT butterfly on w-bit complex operands.
+func NewButterfly(w int) *Circuit {
+	g := gen.Butterfly(w)
+	c := &Circuit{g: g}
+	word := metric.TwosComplementWeights((g.NumPOs()) / 4)
+	var ws []float64
+	for i := 0; i < 4; i++ {
+		ws = append(ws, word...)
+	}
+	c.weights = ws
+	return c
+}
+
+// NewVecMul returns a d-dimensional dot-product unit on w-bit operands.
+func NewVecMul(d, w int) *Circuit { return &Circuit{g: gen.VecMul(d, w)} }
+
+// NewKoggeStoneAdder returns an n-bit parallel-prefix adder (same function
+// as NewAdder, logarithmic depth).
+func NewKoggeStoneAdder(n int) *Circuit { return &Circuit{g: gen.KoggeStoneAdder(n)} }
+
+// NewWallaceMultiplier returns an n×m unsigned multiplier with Wallace-tree
+// reduction (same function as NewMultiplier(n, m, false)).
+func NewWallaceMultiplier(n, m int) *Circuit { return &Circuit{g: gen.WallaceMultiplier(n, m)} }
+
+// NewDivider returns an n-by-n unsigned restoring divider (quotient and
+// remainder outputs).
+func NewDivider(n int) *Circuit { return &Circuit{g: gen.Divider(n)} }
+
+// NewMinMax returns an n-bit two-input sorter (min and max outputs).
+func NewMinMax(n int) *Circuit { return &Circuit{g: gen.MinMax(n)} }
+
+// NewFIR returns a FIR filter over `taps` w-bit samples with constant
+// coefficients 1..taps.
+func NewFIR(taps, w int) *Circuit { return &Circuit{g: gen.FIR(taps, w)} }
+
+// Benchmark is one circuit of the paper's Table I (or its stand-in).
+type Benchmark struct {
+	Name     string // paper row name
+	Function string
+	Circuit  *Circuit
+	Small    bool
+}
+
+// BenchmarkSuite returns the paper's benchmark set. scaled=true reduces
+// bit-widths so the full experiment suite runs in minutes (see
+// EXPERIMENTS.md for the mapping).
+func BenchmarkSuite(scaled bool) []Benchmark {
+	var out []Benchmark
+	for _, b := range gen.Suite(scaled) {
+		out = append(out, Benchmark{
+			Name:     b.PaperName,
+			Function: b.Function,
+			Circuit:  &Circuit{g: b.Graph, weights: b.Weights},
+			Small:    b.Small,
+		})
+	}
+	return out
+}
+
+// Options configures Approximate. Zero values select sensible defaults
+// (8192 patterns, seed 1, constant LACs, single thread).
+type Options struct {
+	Flow      Flow
+	Metric    Metric
+	Threshold float64   // error budget: ER fraction, or absolute MSE/MED
+	Weights   []float64 // numeric PO weights; nil uses the circuit's recommendation
+
+	Patterns int   // Monte-Carlo patterns (default 8192)
+	Seed     int64 // simulation seed (default 1)
+	Threads  int   // LAC evaluation workers (default 1)
+
+	// Exhaustive enumerates all 2^inputs patterns instead of sampling,
+	// making every error figure exact. Limited to ≤ 24 inputs.
+	Exhaustive bool
+
+	// InputProbabilities biases the input distribution: entry i is the
+	// probability that input i is 1 (missing entries default to 0.5).
+	// Error metrics are then measured under that workload distribution.
+	InputProbabilities []float64
+
+	UseConstLACs   bool // constant-0/1 replacements (default true if neither set)
+	UseSASIMILACs  bool // SASIMI signal substitution
+	MaxLACsPerNode int  // SASIMI candidates per node (default 8)
+
+	DepthLimit int // VECBEE depth limit l (0 = ∞)
+	M, N       int // dual-phase parameters (0 = paper defaults)
+	MaxIters   int // cap on applied LACs (0 = unlimited)
+}
+
+// Stats reports what a run did.
+type Stats struct {
+	Applied       int // LACs applied
+	Comprehensive int // comprehensive (phase-1) analyses
+	Incremental   int // incremental (phase-2) iterations
+	Rollbacks     int
+	Runtime       time.Duration
+	CutTime       time.Duration // step 1: disjoint cuts
+	CPMTime       time.Duration // step 2: change propagation matrix
+	EvalTime      time.Duration // step 3: LAC error evaluation
+}
+
+// Result of Approximate.
+type Result struct {
+	Circuit *Circuit // the approximate circuit
+	Error   float64  // achieved error on the training patterns
+
+	AreaRatio  float64 // mapped area, approx / original
+	DelayRatio float64
+	ADPRatio   float64 // the paper's quality measure
+
+	Stats Stats
+}
+
+// Approximate synthesises an approximate version of c under the given
+// error budget. c is not modified.
+func Approximate(c *Circuit, opt Options) (*Result, error) {
+	if c == nil || c.g == nil {
+		return nil, errors.New("dpals: nil circuit")
+	}
+	iopt := core.DefaultOptions(core.Flow(opt.Flow), metric.Kind(opt.Metric), opt.Threshold)
+	if opt.Patterns > 0 {
+		iopt.Patterns = opt.Patterns
+	}
+	if opt.Seed != 0 {
+		iopt.Seed = opt.Seed
+	}
+	iopt.Threads = opt.Threads
+	iopt.Exhaustive = opt.Exhaustive
+	iopt.InputProbabilities = opt.InputProbabilities
+	iopt.DepthLimit = opt.DepthLimit
+	iopt.M, iopt.N = opt.M, opt.N
+	iopt.MaxIters = opt.MaxIters
+	iopt.LACs = lac.Options{
+		Constants:  opt.UseConstLACs,
+		SASIMI:     opt.UseSASIMILACs,
+		MaxPerNode: opt.MaxLACsPerNode,
+	}
+	if !iopt.LACs.Constants && !iopt.LACs.SASIMI {
+		iopt.LACs.Constants = true
+	}
+	weights := opt.Weights
+	if weights == nil {
+		weights = c.weights
+	}
+	iopt.Weights = weights
+
+	res, err := core.Run(c.g, iopt)
+	if err != nil {
+		return nil, err
+	}
+	lib := techmap.GenericLibrary()
+	mo := techmap.Map(c.g, lib)
+	ma := techmap.Map(res.Graph, lib)
+	out := &Result{
+		Circuit:  &Circuit{g: res.Graph, weights: weights},
+		Error:    res.Error,
+		ADPRatio: techmap.ADPRatio(ma, mo),
+		Stats: Stats{
+			Applied:       res.Stats.Applied,
+			Comprehensive: res.Stats.Phase1,
+			Incremental:   res.Stats.Phase2,
+			Rollbacks:     res.Stats.Rollbacks,
+			Runtime:       res.Stats.Runtime,
+			CutTime:       res.Stats.Step.Cuts,
+			CPMTime:       res.Stats.Step.CPM,
+			EvalTime:      res.Stats.Step.Eval,
+		},
+	}
+	if mo.Area > 0 {
+		out.AreaRatio = ma.Area / mo.Area
+	}
+	if mo.Delay > 0 {
+		out.DelayRatio = ma.Delay / mo.Delay
+	}
+	return out, nil
+}
+
+// MeasureErrorBiased is MeasureError under a biased input distribution
+// (entry i = probability input i is 1); pass the same probabilities that
+// were used for synthesis.
+func MeasureErrorBiased(orig, approx *Circuit, m Metric, weights []float64, patterns int, seed int64, probs []float64) (float64, error) {
+	if orig.NumInputs() != approx.NumInputs() || orig.NumOutputs() != approx.NumOutputs() {
+		return 0, fmt.Errorf("dpals: interface mismatch")
+	}
+	if patterns <= 0 {
+		patterns = 8192
+	}
+	dist := sim.Biased{P: probs}
+	so := sim.New(orig.g, sim.Options{Patterns: patterns, Seed: seed, Dist: dist})
+	sa := sim.New(approx.g, sim.Options{Patterns: patterns, Seed: seed, Dist: dist})
+	eo := make([]bitvec.Vec, orig.NumOutputs())
+	ea := make([]bitvec.Vec, orig.NumOutputs())
+	for o := range eo {
+		eo[o] = bitvec.NewWords(so.Words())
+		so.POVal(o, eo[o])
+		ea[o] = bitvec.NewWords(sa.Words())
+		sa.POVal(o, ea[o])
+	}
+	weights = pickWeights(weights, orig, m)
+	return metric.Compute(metric.Kind(m), weights, eo, ea, so.Patterns()), nil
+}
+
+func pickWeights(weights []float64, orig *Circuit, m Metric) []float64 {
+	if weights == nil {
+		weights = orig.weights
+	}
+	if weights == nil && metric.Kind(m).Numeric() {
+		weights = metric.UnsignedWeights(orig.NumOutputs())
+	}
+	return weights
+}
+
+// MeasureError computes the error of approx against orig from scratch by
+// simulating both circuits on the same patterns — an independent check of
+// a synthesis result. The circuits must have identical PI/PO interfaces.
+func MeasureError(orig, approx *Circuit, m Metric, weights []float64, patterns int, seed int64) (float64, error) {
+	if orig.NumInputs() != approx.NumInputs() || orig.NumOutputs() != approx.NumOutputs() {
+		return 0, fmt.Errorf("dpals: interface mismatch (%d/%d inputs, %d/%d outputs)",
+			orig.NumInputs(), approx.NumInputs(), orig.NumOutputs(), approx.NumOutputs())
+	}
+	if patterns <= 0 {
+		patterns = 8192
+	}
+	so := sim.New(orig.g, sim.Options{Patterns: patterns, Seed: seed})
+	sa := sim.New(approx.g, sim.Options{Patterns: patterns, Seed: seed})
+	eo := make([]bitvec.Vec, orig.NumOutputs())
+	ea := make([]bitvec.Vec, orig.NumOutputs())
+	for o := range eo {
+		eo[o] = bitvec.NewWords(so.Words())
+		so.POVal(o, eo[o])
+		ea[o] = bitvec.NewWords(sa.Words())
+		sa.POVal(o, ea[o])
+	}
+	if weights == nil {
+		weights = orig.weights
+	}
+	if weights == nil && metric.Kind(m).Numeric() {
+		weights = metric.UnsignedWeights(orig.NumOutputs())
+	}
+	return metric.Compute(metric.Kind(m), weights, eo, ea, so.Patterns()), nil
+}
+
+// ReferenceError returns the paper's reference error R = 2^(K/3) for a
+// circuit with K outputs. The paper's MED thresholds are {R/2, R, 2R} and
+// MSE thresholds {R²/2, R², 2R²}.
+func ReferenceError(c *Circuit) float64 { return metric.ReferenceError(c.NumOutputs()) }
+
+// ProveEquivalent formally checks (by SAT) that a and b compute the same
+// function on every input. On inequivalence the returned counterexample
+// holds one bit per input.
+func ProveEquivalent(a, b *Circuit) (bool, []bool, error) {
+	return equiv.Equivalent(a.g, b.g)
+}
+
+// CertifyWorstCaseError formally checks (by SAT) that the numeric output
+// deviation of approx from orig is at most t for EVERY input, with outputs
+// read as unsigned LSB-first integers. Monte-Carlo metrics bound the
+// average case; this bounds the worst case. On failure the returned
+// counterexample is a violating input assignment.
+func CertifyWorstCaseError(orig, approx *Circuit, t uint64) (bool, []bool, error) {
+	return equiv.WCEAtMost(orig.g, approx.g, t)
+}
+
+// WorstCaseError computes the exact worst-case numeric deviation of approx
+// from orig by binary search over SAT certifications (≤ 62 outputs).
+func WorstCaseError(orig, approx *Circuit) (uint64, error) {
+	return equiv.WorstCaseError(orig.g, approx.g)
+}
+
+// MeasureErrorExact computes the exact error of approx against orig by
+// enumerating every input combination (≤ 24 inputs).
+func MeasureErrorExact(orig, approx *Circuit, m Metric, weights []float64) (float64, error) {
+	if orig.NumInputs() > 24 {
+		return 0, fmt.Errorf("dpals: exhaustive measurement infeasible for %d inputs (max 24)", orig.NumInputs())
+	}
+	if orig.NumInputs() != approx.NumInputs() || orig.NumOutputs() != approx.NumOutputs() {
+		return 0, fmt.Errorf("dpals: interface mismatch")
+	}
+	patterns := 1 << orig.NumInputs()
+	so := sim.New(orig.g, sim.Options{Patterns: patterns, Dist: sim.Exhaustive{}})
+	sa := sim.New(approx.g, sim.Options{Patterns: patterns, Dist: sim.Exhaustive{}})
+	eo := make([]bitvec.Vec, orig.NumOutputs())
+	ea := make([]bitvec.Vec, orig.NumOutputs())
+	for o := range eo {
+		eo[o] = bitvec.NewWords(so.Words())
+		so.POVal(o, eo[o])
+		ea[o] = bitvec.NewWords(sa.Words())
+		sa.POVal(o, ea[o])
+	}
+	if weights == nil {
+		weights = orig.weights
+	}
+	if weights == nil && metric.Kind(m).Numeric() {
+		weights = metric.UnsignedWeights(orig.NumOutputs())
+	}
+	return metric.Compute(metric.Kind(m), weights, eo, ea, patterns), nil
+}

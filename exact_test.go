@@ -1,0 +1,68 @@
+package dpals
+
+import (
+	"math"
+	"testing"
+)
+
+// Exhaustive mode: the reported error is exact — validate against the
+// exhaustive measurement.
+func TestExhaustiveModeExactness(t *testing.T) {
+	c := NewMultiplier(5, 5, false)
+	R := ReferenceError(c)
+	res, err := Approximate(c, Options{
+		Flow: DPSA, Metric: MED, Threshold: R,
+		Exhaustive:    true,
+		UseConstLACs:  true,
+		UseSASIMILACs: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := MeasureErrorExact(c, res.Circuit, MED, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact-res.Error) > 1e-9*(1+exact) {
+		t.Fatalf("reported %v but exact %v", res.Error, exact)
+	}
+	if exact > R {
+		t.Fatalf("exact error %v exceeds budget %v", exact, R)
+	}
+	if res.Stats.Applied == 0 {
+		t.Error("nothing applied in exhaustive mode")
+	}
+}
+
+func TestExhaustiveRejectsWideCircuits(t *testing.T) {
+	c := NewAdder(16) // 32 inputs
+	if _, err := Approximate(c, Options{Flow: DP, Metric: ER, Threshold: 0.01, Exhaustive: true}); err == nil {
+		t.Error("exhaustive mode accepted 32 inputs")
+	}
+	if _, err := MeasureErrorExact(c, c, ER, nil); err == nil {
+		t.Error("exact measurement accepted 32 inputs")
+	}
+}
+
+func TestMHDFlowPublic(t *testing.T) {
+	c := NewMultiplier(6, 6, false)
+	res, err := Approximate(c, Options{
+		Flow: DPSA, Metric: MHD, Threshold: 0.5, Patterns: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error > 0.5 {
+		t.Fatalf("MHD %v exceeds budget", res.Error)
+	}
+	real, err := MeasureError(c, res.Circuit, MHD, nil, 1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real-res.Error) > 1e-9 {
+		t.Fatalf("MHD reported %v, measured %v", res.Error, real)
+	}
+	if res.Stats.Applied == 0 {
+		t.Error("MHD flow applied nothing")
+	}
+}

@@ -1,0 +1,67 @@
+package dpals_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dpals"
+)
+
+// The basic synthesis loop: build, approximate, inspect, export.
+func ExampleApproximate() {
+	mult := dpals.NewMultiplier(8, 8, false)
+	R := dpals.ReferenceError(mult)
+
+	res, err := dpals.Approximate(mult, dpals.Options{
+		Flow:      dpals.DPSA,
+		Metric:    dpals.MSE,
+		Threshold: R * R,
+		Patterns:  8192,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gates %d→%d, ADP ratio %.1f%%\n",
+		mult.NumGates(), res.Circuit.NumGates(), 100*res.ADPRatio)
+	_ = res.Circuit.WriteBLIF(os.Stdout)
+}
+
+// Loading an external circuit and running the one-cut VECBEE baseline.
+func ExampleReadBLIF() {
+	f, err := os.Open("circuit.blif")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	c, err := dpals.ReadBLIF(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dpals.Approximate(c, dpals.Options{
+		Flow:       dpals.VECBEE,
+		DepthLimit: 1, // the fast, approximate variant
+		Metric:     dpals.ER,
+		Threshold:  0.01,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Error)
+}
+
+// Formal certification of a synthesis result.
+func ExampleWorstCaseError() {
+	orig := dpals.NewMultiplier(6, 6, false)
+	res, err := dpals.Approximate(orig, dpals.Options{
+		Flow: dpals.DP, Metric: dpals.MED, Threshold: dpals.ReferenceError(orig),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wce, err := dpals.WorstCaseError(orig, res.Circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("worst-case deviation over all inputs: %d\n", wce)
+}

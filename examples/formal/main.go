@@ -1,0 +1,56 @@
+// Formal verification of an approximate design: synthesise a multiplier
+// under an average-case (MED) budget, then use the built-in SAT engine to
+// (a) confirm it is not accidentally equivalent, (b) compute its exact
+// worst-case error, and (c) certify a worst-case bound — the guarantees an
+// average-case Monte-Carlo metric cannot give.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dpals"
+)
+
+func main() {
+	orig := dpals.NewMultiplier(6, 6, false)
+	R := dpals.ReferenceError(orig)
+	fmt.Printf("original: %d gates; MED budget %.2f\n", orig.NumGates(), R)
+
+	res, err := dpals.Approximate(orig, dpals.Options{
+		Flow:      dpals.DPSA,
+		Metric:    dpals.MED,
+		Threshold: R,
+		Patterns:  8192,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("approx  : %d gates (ADP %.1f%%), mean error %.2f on samples\n",
+		res.Circuit.NumGates(), 100*res.ADPRatio, res.Error)
+
+	eq, _, err := dpals.ProveEquivalent(orig, res.Circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("formal  : equivalent = %v (expected false for a lossy design)\n", eq)
+
+	wce, err := dpals.WorstCaseError(orig, res.Circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("formal  : exact worst-case error = %d (mean was %.2f)\n", wce, res.Error)
+
+	ok, _, err := dpals.CertifyWorstCaseError(orig, res.Circuit, wce)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("formal  : certified WCE ≤ %d for every input: %v\n", wce, ok)
+	if wce > 0 {
+		ok, cex, err := dpals.CertifyWorstCaseError(orig, res.Circuit, wce-1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("formal  : WCE ≤ %d rejected (%v), witness input %v\n", wce-1, ok, cex)
+	}
+}

@@ -1,0 +1,51 @@
+// Approximate-multiplier design-space exploration: sweep MED budgets on a
+// signed multiplier with SASIMI substitution LACs — the classic use case
+// motivating approximate logic synthesis (image processing and ML kernels
+// dominated by signed MACs) — and export the Pareto designs as BLIF.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dpals"
+)
+
+func main() {
+	mult := dpals.NewMultiplier(9, 8, true) // the paper's sm9x8
+	fmt.Printf("sm9x8: %d gates, area %.1f, delay %.2f\n", mult.NumGates(), mult.Area(), mult.Delay())
+	R := dpals.ReferenceError(mult)
+
+	fmt.Printf("\n%-12s %10s %10s %10s %12s\n", "MED budget", "gates", "ADP", "achieved", "LACs/runtime")
+	for _, factor := range []float64{0.25, 0.5, 1, 2, 4} {
+		budget := factor * R
+		res, err := dpals.Approximate(mult, dpals.Options{
+			Flow:          dpals.DPSA,
+			Metric:        dpals.MED,
+			Threshold:     budget,
+			Patterns:      8192,
+			Threads:       4,
+			UseConstLACs:  true,
+			UseSASIMILACs: true, // substitute similar internal signals (SASIMI)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12.2f %10d %9.1f%% %10.2f %6d %v\n",
+			budget, res.Circuit.NumGates(), 100*res.ADPRatio, res.Error,
+			res.Stats.Applied, res.Stats.Runtime.Round(1e6))
+
+		// Export each Pareto point.
+		name := fmt.Sprintf("sm9x8_med%.2g.blif", budget)
+		f, err := os.Create(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Circuit.WriteBLIF(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+	fmt.Println("\nwrote one BLIF per budget (sm9x8_med*.blif)")
+}

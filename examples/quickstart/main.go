@@ -1,0 +1,52 @@
+// Quickstart: approximate an 8×8 unsigned multiplier under an MSE budget
+// with the dual-phase self-adaptive flow, then verify the result
+// independently.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dpals"
+)
+
+func main() {
+	// 1. Build (or load) a circuit. Generators for the paper's benchmark
+	//    families are built in; ReadBLIF/ReadAIGER load external circuits.
+	mult := dpals.NewMultiplier(8, 8, false)
+	fmt.Printf("original : %d gates, depth %d, area %.1f, delay %.2f\n",
+		mult.NumGates(), mult.Depth(), mult.Area(), mult.Delay())
+
+	// 2. Pick an error budget. The paper's reference error for a circuit
+	//    with K outputs is R = 2^(K/3); R² is its median MSE threshold.
+	R := dpals.ReferenceError(mult)
+	budget := R * R
+	fmt.Printf("budget   : MSE ≤ %.0f (R = %.1f)\n", budget, R)
+
+	// 3. Run the dual-phase self-adaptive flow.
+	res, err := dpals.Approximate(mult, dpals.Options{
+		Flow:      dpals.DPSA,
+		Metric:    dpals.MSE,
+		Threshold: budget,
+		Patterns:  8192,
+		Threads:   4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("approx   : %d gates (%.1f%%), ADP ratio %.1f%%, error %.1f\n",
+		res.Circuit.NumGates(),
+		100*float64(res.Circuit.NumGates())/float64(mult.NumGates()),
+		100*res.ADPRatio, res.Error)
+	fmt.Printf("synthesis: %d LACs in %v (%d comprehensive + %d incremental analyses)\n",
+		res.Stats.Applied, res.Stats.Runtime.Round(1e6),
+		res.Stats.Comprehensive, res.Stats.Incremental)
+
+	// 4. Never trust a synthesis tool: measure the error independently on
+	//    fresh patterns.
+	check, err := dpals.MeasureError(mult, res.Circuit, dpals.MSE, nil, 65536, 12345)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("validate : MSE %.1f on 65536 unseen patterns (budget %.0f)\n", check, budget)
+}

@@ -1,0 +1,3 @@
+module dpals
+
+go 1.22

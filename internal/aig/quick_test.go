@@ -1,0 +1,159 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildFromScript interprets a byte script as graph-construction and
+// mutation commands, so testing/quick can explore the operation space.
+func buildFromScript(script []byte) *Graph {
+	g := New("quick")
+	var lits []Lit
+	for i := 0; i < 4; i++ {
+		lits = append(lits, g.AddPI(""))
+	}
+	rd := func(i int) Lit {
+		l := lits[int(script[i%len(script)])%len(lits)]
+		if script[(i+1)%len(script)]&1 == 1 {
+			l = l.Not()
+		}
+		return l
+	}
+	for i := 0; i+2 < len(script); i += 3 {
+		switch script[i] % 4 {
+		case 0, 1: // and
+			lits = append(lits, g.And(rd(i+1), rd(i+2)))
+		case 2: // xor
+			lits = append(lits, g.Xor(rd(i+1), rd(i+2)))
+		case 3: // mux
+			lits = append(lits, g.Mux(rd(i+1), rd(i+2), rd(i)))
+		}
+	}
+	for i := 0; i < 3 && i < len(lits); i++ {
+		g.AddPO(lits[len(lits)-1-i], "")
+	}
+	return g
+}
+
+// Property: any construction script yields a structurally valid graph, and
+// sweeping it preserves the function on all 16 input combinations.
+func TestQuickScriptedConstruction(t *testing.T) {
+	f := func(script []byte) bool {
+		if len(script) < 3 {
+			return true
+		}
+		if len(script) > 300 {
+			script = script[:300]
+		}
+		g := buildFromScript(script)
+		if err := g.Check(); err != nil {
+			t.Logf("check: %v", err)
+			return false
+		}
+		if g.NumPOs() == 0 {
+			return true
+		}
+		sw := g.Sweep()
+		if err := sw.Check(); err != nil {
+			t.Logf("sweep check: %v", err)
+			return false
+		}
+		ev1, ev2 := evalAll(g), evalAll(sw)
+		for in := 0; in < 16; in++ {
+			pi := []bool{in&1 != 0, in&2 != 0, in&4 != 0, in&8 != 0}
+			o1, o2 := ev1(pi), ev2(pi)
+			for k := range o1 {
+				if o1[k] != o2[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: replacing any node by any legal literal keeps invariants and
+// the replaced node's readers see exactly the substituted function.
+func TestQuickReplaceKeepsInvariants(t *testing.T) {
+	f := func(script []byte, pick, rpick uint8) bool {
+		if len(script) < 6 {
+			return true
+		}
+		if len(script) > 200 {
+			script = script[:200]
+		}
+		g := buildFromScript(script)
+		var ands []int32
+		for v := int32(1); v <= g.MaxVar(); v++ {
+			if g.IsAnd(v) {
+				ands = append(ands, v)
+			}
+		}
+		if len(ands) == 0 {
+			return true
+		}
+		v := ands[int(pick)%len(ands)]
+		// Candidate replacements: constants, PIs, non-TFO nodes.
+		repl := []Lit{False, True}
+		for _, p := range g.PIs() {
+			repl = append(repl, MakeLit(p, false))
+		}
+		for _, w := range ands {
+			if w != v && !g.InTFO(v, w) {
+				repl = append(repl, MakeLit(w, true))
+			}
+		}
+		l := repl[int(rpick)%len(repl)]
+		g.ReplaceWithLit(v, l)
+		return g.Check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MFFC sizes are consistent — the MFFC of a node contains the
+// node, only live AND nodes, and no node that has a reader outside the
+// MFFC.
+func TestQuickMFFCWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64) bool {
+		g := randomGraph(rand.New(rand.NewSource(seed^rng.Int63())), 5, 50, 4)
+		for v := int32(1); v <= g.MaxVar(); v++ {
+			if !g.IsAnd(v) {
+				continue
+			}
+			mffc := g.MFFC(v)
+			in := map[int32]bool{}
+			for _, m := range mffc {
+				in[m] = true
+			}
+			if !in[v] {
+				return false
+			}
+			for _, m := range mffc {
+				if !g.IsAnd(m) {
+					return false
+				}
+				if m == v {
+					continue
+				}
+				// Every reader of an inner MFFC node must be in the MFFC.
+				for _, r := range g.Fanouts(m) {
+					if !in[r] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package aiger reads and writes the ASCII AIGER format (aag), the
+// standard interchange format for AND-inverter graphs. Only combinational
+// models are supported (L = 0); the binary "aig" variant is written but
+// only the ASCII variant is read.
+package aiger
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dpals/internal/aig"
+)
+
+// Read parses an AIGER stream, ASCII ("aag") or binary ("aig").
+func Read(r io.Reader) (*aig.Graph, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("aiger: missing header: %w", err)
+	}
+	f := strings.Fields(header)
+	if len(f) != 6 || (f[0] != "aag" && f[0] != "aig") {
+		return nil, fmt.Errorf("aiger: bad header %q", strings.TrimSpace(header))
+	}
+	var m, i, l, o, a int
+	for idx, dst := range []*int{&m, &i, &l, &o, &a} {
+		v, err := strconv.Atoi(f[idx+1])
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("aiger: bad header field %q", f[idx+1])
+		}
+		*dst = v
+	}
+	if l != 0 {
+		return nil, fmt.Errorf("aiger: %d latches present; only combinational models supported", l)
+	}
+	if f[0] == "aig" {
+		if m != i+a {
+			return nil, fmt.Errorf("aiger: binary header maxvar %d != inputs+ands %d", m, i+a)
+		}
+		return readBinary(br, m, i, o, a)
+	}
+
+	readLine := func() (string, error) {
+		s, err := br.ReadString('\n')
+		if err != nil && s == "" {
+			return "", err
+		}
+		return strings.TrimSpace(s), nil
+	}
+
+	g := aig.New("aiger")
+	// Map AIGER variable -> our literal.
+	lits := make([]aig.Lit, m+1)
+	lits[0] = aig.False
+	conv := func(aigerLit uint64) (aig.Lit, error) {
+		v := aigerLit >> 1
+		if v > uint64(m) {
+			return 0, fmt.Errorf("aiger: literal %d exceeds maxvar %d", aigerLit, m)
+		}
+		base := lits[v]
+		if base == 0 && v != 0 {
+			return 0, fmt.Errorf("aiger: variable %d used before definition", v)
+		}
+		return base.NotIf(aigerLit&1 == 1), nil
+	}
+
+	inputVars := make([]uint64, i)
+	for k := 0; k < i; k++ {
+		s, err := readLine()
+		if err != nil {
+			return nil, fmt.Errorf("aiger: truncated inputs: %w", err)
+		}
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil || v&1 == 1 || v == 0 {
+			return nil, fmt.Errorf("aiger: bad input literal %q", s)
+		}
+		lits[v>>1] = g.AddPI(fmt.Sprintf("i%d", k))
+		inputVars[k] = v >> 1
+	}
+	outLits := make([]uint64, o)
+	for k := 0; k < o; k++ {
+		s, err := readLine()
+		if err != nil {
+			return nil, fmt.Errorf("aiger: truncated outputs: %w", err)
+		}
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("aiger: bad output literal %q", s)
+		}
+		outLits[k] = v
+	}
+	for k := 0; k < a; k++ {
+		s, err := readLine()
+		if err != nil {
+			return nil, fmt.Errorf("aiger: truncated AND section: %w", err)
+		}
+		fs := strings.Fields(s)
+		if len(fs) != 3 {
+			return nil, fmt.Errorf("aiger: bad AND line %q", s)
+		}
+		var lhs, rhs0, rhs1 uint64
+		for idx, dst := range []*uint64{&lhs, &rhs0, &rhs1} {
+			v, err := strconv.ParseUint(fs[idx], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("aiger: bad AND literal %q", fs[idx])
+			}
+			*dst = v
+		}
+		if lhs&1 == 1 || lhs>>1 > uint64(m) {
+			return nil, fmt.Errorf("aiger: bad AND lhs %d", lhs)
+		}
+		if rhs0 >= lhs || rhs1 >= lhs {
+			return nil, fmt.Errorf("aiger: AND %d not in topological order", lhs)
+		}
+		a0, err := conv(rhs0)
+		if err != nil {
+			return nil, err
+		}
+		a1, err := conv(rhs1)
+		if err != nil {
+			return nil, err
+		}
+		lits[lhs>>1] = g.And(a0, a1)
+	}
+
+	// Symbol table and comments.
+	poNames := make(map[int]string)
+	piNames := make(map[int]string)
+	for {
+		s, err := readLine()
+		if err != nil {
+			break
+		}
+		if s == "" {
+			continue
+		}
+		if s == "c" {
+			break
+		}
+		switch s[0] {
+		case 'i', 'o':
+			parts := strings.SplitN(s[1:], " ", 2)
+			if len(parts) != 2 {
+				continue
+			}
+			idx, err := strconv.Atoi(parts[0])
+			if err != nil {
+				continue
+			}
+			if s[0] == 'i' {
+				piNames[idx] = parts[1]
+			} else {
+				poNames[idx] = parts[1]
+			}
+		}
+	}
+	for k, v := range outLits {
+		l, err := conv(v)
+		if err != nil {
+			return nil, err
+		}
+		name := poNames[k]
+		if name == "" {
+			name = fmt.Sprintf("o%d", k)
+		}
+		g.AddPO(l, name)
+	}
+	_ = piNames // PI names in aig.Graph are fixed at AddPI time; renames are cosmetic
+	_ = inputVars
+	return g.Sweep(), nil
+}
+
+// Write emits the graph as ASCII AIGER (aag) with a symbol table.
+func Write(w io.Writer, g *aig.Graph) error {
+	bw := bufio.NewWriter(w)
+	// Renumber: inputs first, then AND nodes in topological order.
+	index := make(map[int32]uint64, g.NumVars())
+	next := uint64(1)
+	for _, v := range g.PIs() {
+		index[v] = next
+		next++
+	}
+	var ands []int32
+	for _, v := range g.Topo() {
+		if g.Type(v) == aig.TypeAnd {
+			index[v] = next
+			next++
+			ands = append(ands, v)
+		}
+	}
+	conv := func(l aig.Lit) uint64 {
+		if l.Var() == 0 {
+			return uint64(l) & 1
+		}
+		return index[l.Var()]<<1 | uint64(l)&1
+	}
+	fmt.Fprintf(bw, "aag %d %d 0 %d %d\n", next-1, g.NumPIs(), g.NumPOs(), len(ands))
+	for _, v := range g.PIs() {
+		fmt.Fprintf(bw, "%d\n", index[v]<<1)
+	}
+	for _, po := range g.POs() {
+		fmt.Fprintf(bw, "%d\n", conv(po))
+	}
+	for _, v := range ands {
+		f0, f1 := g.Fanins(v)
+		r0, r1 := conv(f0), conv(f1)
+		if r0 < r1 {
+			r0, r1 = r1, r0
+		}
+		fmt.Fprintf(bw, "%d %d %d\n", index[v]<<1, r0, r1)
+	}
+	for i := range g.PIs() {
+		fmt.Fprintf(bw, "i%d %s\n", i, g.PIName(i))
+	}
+	for o := 0; o < g.NumPOs(); o++ {
+		fmt.Fprintf(bw, "o%d %s\n", o, g.POName(o))
+	}
+	fmt.Fprintf(bw, "c\n%s\n", g.Name)
+	return bw.Flush()
+}

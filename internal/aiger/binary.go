@@ -1,0 +1,188 @@
+package aiger
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dpals/internal/aig"
+)
+
+// WriteBinary emits the graph in the binary AIGER format ("aig" header):
+// inputs are implicit, outputs are listed as literals, and each AND gate
+// is stored as two LEB128 deltas (lhs−rhs0, rhs0−rhs1) with
+// lhs > rhs0 ≥ rhs1, in ascending lhs order.
+func WriteBinary(w io.Writer, g *aig.Graph) error {
+	bw := bufio.NewWriter(w)
+	index := make(map[int32]uint64, g.NumVars())
+	next := uint64(1)
+	for _, v := range g.PIs() {
+		index[v] = next
+		next++
+	}
+	var ands []int32
+	for _, v := range g.Topo() {
+		if g.Type(v) == aig.TypeAnd {
+			index[v] = next
+			next++
+			ands = append(ands, v)
+		}
+	}
+	conv := func(l aig.Lit) uint64 {
+		if l.Var() == 0 {
+			return uint64(l) & 1
+		}
+		return index[l.Var()]<<1 | uint64(l)&1
+	}
+	fmt.Fprintf(bw, "aig %d %d 0 %d %d\n", next-1, g.NumPIs(), g.NumPOs(), len(ands))
+	for _, po := range g.POs() {
+		fmt.Fprintf(bw, "%d\n", conv(po))
+	}
+	for _, v := range ands {
+		f0, f1 := g.Fanins(v)
+		r0, r1 := conv(f0), conv(f1)
+		if r0 < r1 {
+			r0, r1 = r1, r0
+		}
+		lhs := index[v] << 1
+		if err := writeVarint(bw, lhs-r0); err != nil {
+			return err
+		}
+		if err := writeVarint(bw, r0-r1); err != nil {
+			return err
+		}
+	}
+	for i := range g.PIs() {
+		fmt.Fprintf(bw, "i%d %s\n", i, g.PIName(i))
+	}
+	for o := 0; o < g.NumPOs(); o++ {
+		fmt.Fprintf(bw, "o%d %s\n", o, g.POName(o))
+	}
+	fmt.Fprintf(bw, "c\n%s\n", g.Name)
+	return bw.Flush()
+}
+
+func writeVarint(w *bufio.Writer, x uint64) error {
+	for x >= 0x80 {
+		if err := w.WriteByte(byte(x&0x7f | 0x80)); err != nil {
+			return err
+		}
+		x >>= 7
+	}
+	return w.WriteByte(byte(x))
+}
+
+func readVarint(r *bufio.Reader) (uint64, error) {
+	var x uint64
+	var shift uint
+	for {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		x |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return x, nil
+		}
+		shift += 7
+		if shift > 63 {
+			return 0, fmt.Errorf("aiger: varint overflow")
+		}
+	}
+}
+
+// readBinary parses the body of a binary AIGER stream after the header has
+// been consumed.
+func readBinary(br *bufio.Reader, m, i, o, a int) (*aig.Graph, error) {
+	g := aig.New("aiger")
+	lits := make([]aig.Lit, m+1)
+	lits[0] = aig.False
+	for k := 0; k < i; k++ {
+		lits[k+1] = g.AddPI(fmt.Sprintf("i%d", k))
+	}
+	conv := func(aigerLit uint64) (aig.Lit, error) {
+		v := aigerLit >> 1
+		if v > uint64(m) {
+			return 0, fmt.Errorf("aiger: literal %d exceeds maxvar %d", aigerLit, m)
+		}
+		base := lits[v]
+		if base == 0 && v != 0 {
+			return 0, fmt.Errorf("aiger: variable %d used before definition", v)
+		}
+		return base.NotIf(aigerLit&1 == 1), nil
+	}
+	outLits := make([]uint64, o)
+	for k := 0; k < o; k++ {
+		s, err := br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("aiger: truncated outputs: %w", err)
+		}
+		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("aiger: bad output literal %q", strings.TrimSpace(s))
+		}
+		outLits[k] = v
+	}
+	for k := 0; k < a; k++ {
+		lhs := uint64(i+k+1) << 1
+		d0, err := readVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("aiger: truncated AND section: %w", err)
+		}
+		d1, err := readVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("aiger: truncated AND section: %w", err)
+		}
+		if d0 == 0 || d0 > lhs {
+			return nil, fmt.Errorf("aiger: invalid delta at AND %d", k)
+		}
+		r0 := lhs - d0
+		if d1 > r0 {
+			return nil, fmt.Errorf("aiger: invalid second delta at AND %d", k)
+		}
+		r1 := r0 - d1
+		a0, err := conv(r0)
+		if err != nil {
+			return nil, err
+		}
+		a1, err := conv(r1)
+		if err != nil {
+			return nil, err
+		}
+		lits[lhs>>1] = g.And(a0, a1)
+	}
+	// Symbol table (PO names only; PI names are fixed at AddPI time).
+	poNames := map[int]string{}
+	for {
+		s, err := br.ReadString('\n')
+		if err != nil {
+			break
+		}
+		s = strings.TrimSpace(s)
+		if s == "c" {
+			break
+		}
+		if strings.HasPrefix(s, "o") {
+			parts := strings.SplitN(s[1:], " ", 2)
+			if len(parts) == 2 {
+				if idx, err := strconv.Atoi(parts[0]); err == nil {
+					poNames[idx] = parts[1]
+				}
+			}
+		}
+	}
+	for k, v := range outLits {
+		l, err := conv(v)
+		if err != nil {
+			return nil, err
+		}
+		name := poNames[k]
+		if name == "" {
+			name = fmt.Sprintf("o%d", k)
+		}
+		g.AddPO(l, name)
+	}
+	return g.Sweep(), nil
+}

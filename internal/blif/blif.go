@@ -1,0 +1,303 @@
+// Package blif reads and writes combinational circuits in the Berkeley
+// Logic Interchange Format (BLIF). Reading builds an AIG by synthesising
+// each .names cover as a sum of products; writing emits one two-input
+// .names per AND node. Latches and hierarchies are not supported — the ALS
+// engine is purely combinational, matching the paper's benchmarks.
+package blif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"dpals/internal/aig"
+)
+
+// Read parses a BLIF model into an AIG.
+func Read(r io.Reader) (*aig.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+
+	var lines []string
+	cont := ""
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		if i := strings.IndexByte(raw, '#'); i >= 0 {
+			raw = raw[:i]
+		}
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		if strings.HasSuffix(raw, "\\") {
+			cont += strings.TrimSuffix(raw, "\\") + " "
+			continue
+		}
+		lines = append(lines, cont+raw)
+		cont = ""
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("blif: %w", err)
+	}
+	if cont != "" {
+		return nil, fmt.Errorf("blif: dangling line continuation")
+	}
+
+	g := aig.New("blif")
+	sig := map[string]aig.Lit{}
+	var inputs, outputs []string
+
+	type names struct {
+		out    string
+		ins    []string
+		covers []string // "<input-bits> <out-bit>"
+	}
+	var tables []*names
+	var cur *names
+
+	flush := func() {
+		if cur != nil {
+			tables = append(tables, cur)
+			cur = nil
+		}
+	}
+
+	for _, ln := range lines {
+		f := strings.Fields(ln)
+		switch f[0] {
+		case ".model":
+			if len(f) > 1 {
+				g.Name = f[1]
+			}
+		case ".inputs":
+			flush()
+			inputs = append(inputs, f[1:]...)
+		case ".outputs":
+			flush()
+			outputs = append(outputs, f[1:]...)
+		case ".names":
+			flush()
+			if len(f) < 2 {
+				return nil, fmt.Errorf("blif: .names without signals")
+			}
+			cur = &names{out: f[len(f)-1], ins: f[1 : len(f)-1]}
+		case ".end":
+			flush()
+		case ".latch", ".subckt", ".gate":
+			return nil, fmt.Errorf("blif: %s not supported (combinational models only)", f[0])
+		default:
+			if strings.HasPrefix(f[0], ".") {
+				// Ignore unknown dot-directives (e.g. .default_input_arrival).
+				flush()
+				continue
+			}
+			if cur == nil {
+				return nil, fmt.Errorf("blif: cover line %q outside .names", ln)
+			}
+			cur.covers = append(cur.covers, ln)
+		}
+	}
+	flush()
+
+	for _, in := range inputs {
+		if _, dup := sig[in]; dup {
+			return nil, fmt.Errorf("blif: duplicate input %q", in)
+		}
+		sig[in] = g.AddPI(in)
+	}
+
+	// Synthesise .names tables in dependency order (iterate until settled;
+	// BLIF does not require topological order in the file).
+	remaining := tables
+	for len(remaining) > 0 {
+		progress := false
+		var defer2 []*names
+		for _, t := range remaining {
+			ready := true
+			for _, in := range t.ins {
+				if _, ok := sig[in]; !ok {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				defer2 = append(defer2, t)
+				continue
+			}
+			l, err := synthCover(g, sig, t.ins, t.covers)
+			if err != nil {
+				return nil, fmt.Errorf("blif: table for %q: %w", t.out, err)
+			}
+			if _, dup := sig[t.out]; dup {
+				return nil, fmt.Errorf("blif: signal %q defined twice", t.out)
+			}
+			sig[t.out] = l
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("blif: cyclic or undefined signals (e.g. %q)", remaining[0].out)
+		}
+		remaining = defer2
+	}
+
+	for _, out := range outputs {
+		l, ok := sig[out]
+		if !ok {
+			return nil, fmt.Errorf("blif: output %q undefined", out)
+		}
+		g.AddPO(l, out)
+	}
+	return g.Sweep(), nil
+}
+
+// synthCover builds the SOP function of one .names table.
+func synthCover(g *aig.Graph, sig map[string]aig.Lit, ins []string, covers []string) (aig.Lit, error) {
+	if len(ins) == 0 {
+		// Constant: a single "1" line means const-1; empty cover is const-0.
+		for _, c := range covers {
+			if strings.TrimSpace(c) == "1" {
+				return aig.True, nil
+			}
+			return aig.False, fmt.Errorf("invalid constant cover %q", c)
+		}
+		return aig.False, nil
+	}
+	onSet := aig.False
+	sawOff := false
+	sawOn := false
+	var offTerms []aig.Lit
+	for _, c := range covers {
+		f := strings.Fields(c)
+		if len(f) != 2 {
+			return aig.False, fmt.Errorf("cover line %q must have input and output parts", c)
+		}
+		pat, outBit := f[0], f[1]
+		if len(pat) != len(ins) {
+			return aig.False, fmt.Errorf("cover %q width %d, want %d", pat, len(pat), len(ins))
+		}
+		term := aig.True
+		for i, ch := range pat {
+			in := sig[ins[i]]
+			switch ch {
+			case '1':
+				term = g.And(term, in)
+			case '0':
+				term = g.And(term, in.Not())
+			case '-':
+			default:
+				return aig.False, fmt.Errorf("bad cover character %q", string(ch))
+			}
+		}
+		switch outBit {
+		case "1":
+			sawOn = true
+			onSet = g.Or(onSet, term)
+		case "0":
+			sawOff = true
+			offTerms = append(offTerms, term)
+		default:
+			return aig.False, fmt.Errorf("bad output bit %q", outBit)
+		}
+	}
+	if sawOn && sawOff {
+		return aig.False, fmt.Errorf("mixed on-set and off-set covers")
+	}
+	if sawOff {
+		off := aig.False
+		for _, t := range offTerms {
+			off = g.Or(off, t)
+		}
+		return off.Not(), nil
+	}
+	return onSet, nil
+}
+
+// Write emits the graph as a BLIF model: one 2-input .names per AND node,
+// plus buffers/inverters for outputs.
+func Write(w io.Writer, g *aig.Graph) error {
+	bw := bufio.NewWriter(w)
+	name := g.Name
+	if name == "" {
+		name = "top"
+	}
+	fmt.Fprintf(bw, ".model %s\n", name)
+
+	fmt.Fprint(bw, ".inputs")
+	for i := range g.PIs() {
+		fmt.Fprintf(bw, " %s", sanitize(g.PIName(i)))
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprint(bw, ".outputs")
+	for o := 0; o < g.NumPOs(); o++ {
+		fmt.Fprintf(bw, " %s", sanitize(g.POName(o)))
+	}
+	fmt.Fprintln(bw)
+
+	sigName := func(v int32) string {
+		if g.IsPI(v) {
+			for i, p := range g.PIs() {
+				if p == v {
+					return sanitize(g.PIName(i))
+				}
+			}
+		}
+		return fmt.Sprintf("n%d", v)
+	}
+	constUsed := false
+	litName := func(l aig.Lit) (string, bool) { // name, complemented
+		if l.Var() == 0 {
+			constUsed = true
+			return "const1", l == aig.False
+		}
+		return sigName(l.Var()), l.IsCompl()
+	}
+
+	for _, v := range g.Topo() {
+		if g.Type(v) != aig.TypeAnd {
+			continue
+		}
+		f0, f1 := g.Fanins(v)
+		n0, c0 := litName(f0)
+		n1, c1 := litName(f1)
+		fmt.Fprintf(bw, ".names %s %s %s\n", n0, n1, sigName(v))
+		b0, b1 := "1", "1"
+		if c0 {
+			b0 = "0"
+		}
+		if c1 {
+			b1 = "0"
+		}
+		fmt.Fprintf(bw, "%s%s 1\n", b0, b1)
+	}
+	for o, po := range g.POs() {
+		n, c := litName(po)
+		fmt.Fprintf(bw, ".names %s %s\n", n, sanitize(g.POName(o)))
+		if c {
+			fmt.Fprintln(bw, "0 1")
+		} else {
+			fmt.Fprintln(bw, "1 1")
+		}
+	}
+	if constUsed {
+		fmt.Fprintln(bw, ".names const1")
+		fmt.Fprintln(bw, "1")
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+func sanitize(s string) string {
+	if s == "" {
+		return "_"
+	}
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case ' ', '\t', '\\', '#':
+			return '_'
+		}
+		return r
+	}, s)
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dpals/internal/aig"
+	"dpals/internal/bitvec"
+	"dpals/internal/cut"
+	"dpals/internal/lac"
+	"dpals/internal/metric"
+	"dpals/internal/sim"
+)
+
+// Result of a synthesis run.
+type Result struct {
+	Graph *aig.Graph // approximate circuit, swept
+	Error float64    // final error on the training patterns
+	Stats Stats
+}
+
+// Run synthesises an approximate version of g under opt and returns the
+// result. g itself is never modified.
+func Run(g *aig.Graph, opt Options) (*Result, error) {
+	if opt.Threshold < 0 {
+		return nil, errors.New("core: negative error threshold")
+	}
+	if !opt.LACs.Constants && !opt.LACs.SASIMI {
+		return nil, errors.New("core: no LAC kind enabled")
+	}
+	if opt.Patterns <= 0 {
+		opt.Patterns = 8192
+	}
+	e, err := newEngine(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	switch opt.Flow {
+	case FlowConventional:
+		e.runConventional()
+	case FlowVECBEE:
+		e.runVECBEE()
+	case FlowAccALS:
+		e.runAccALS()
+	case FlowDP, FlowDPSA:
+		e.runDualPhase(opt.Flow == FlowDPSA)
+	default:
+		return nil, fmt.Errorf("core: unknown flow %d", int(opt.Flow))
+	}
+	e.stats.Runtime = time.Since(start)
+	e.stats.NodesAfter = e.g.NumAnds()
+	out := e.g.Sweep()
+	return &Result{Graph: out, Error: e.st.Error(), Stats: e.stats}, nil
+}
+
+// engine holds the mutable synthesis state shared by all flows.
+type engine struct {
+	opt   Options
+	g     *aig.Graph
+	s     *sim.Sim
+	st    *metric.State
+	cuts  *cut.Set // nil for VECBEE flows
+	gen   *lac.Generator
+	exact []bitvec.Vec
+	stats Stats
+
+	poScratch bitvec.Vec
+	iter      int  // applied-LAC counter (1-based in callbacks)
+	incCuts   bool // maintain cuts incrementally on apply (dual-phase flows)
+}
+
+// simOptions builds the simulator configuration for a graph under opt.
+func simOptions(g *aig.Graph, opt Options) (sim.Options, error) {
+	so := sim.Options{Patterns: opt.Patterns, Seed: opt.Seed, Threads: opt.Threads}
+	if opt.Exhaustive {
+		if g.NumPIs() > 24 {
+			return so, fmt.Errorf("core: exhaustive simulation infeasible for %d inputs (max 24)", g.NumPIs())
+		}
+		so.Patterns = 1 << g.NumPIs()
+		so.Dist = sim.Exhaustive{}
+		return so, nil
+	}
+	if len(opt.InputProbabilities) > 0 {
+		for _, p := range opt.InputProbabilities {
+			if p < 0 || p > 1 {
+				return so, fmt.Errorf("core: input probability %v out of [0,1]", p)
+			}
+		}
+		so.Dist = sim.Biased{P: opt.InputProbabilities}
+	}
+	return so, nil
+}
+
+func newEngine(orig *aig.Graph, opt Options) (*engine, error) {
+	g := orig.Sweep() // private, compact working copy
+	if g.NumAnds() == 0 {
+		return nil, errors.New("core: circuit has no AND nodes to approximate")
+	}
+	simOpt, err := simOptions(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	s := sim.New(g, simOpt)
+	exact := make([]bitvec.Vec, g.NumPOs())
+	for o := range exact {
+		exact[o] = bitvec.NewWords(s.Words())
+		s.POVal(o, exact[o])
+	}
+	weights := opt.Weights
+	if weights == nil && opt.Metric.Numeric() {
+		weights = metric.UnsignedWeights(g.NumPOs())
+	}
+	st := metric.NewState(opt.Metric, exact, weights, s.Patterns())
+	e := &engine{
+		opt:       opt,
+		g:         g,
+		s:         s,
+		st:        st,
+		exact:     exact,
+		gen:       lac.NewGenerator(g, s, opt.LACs),
+		poScratch: bitvec.NewWords(s.Words()),
+	}
+	e.stats.NodesBefore = g.NumAnds()
+	return e, nil
+}
+
+// liveTargets returns all live AND nodes in topological order.
+func (e *engine) liveTargets() []int32 {
+	var out []int32
+	for _, v := range e.g.Topo() {
+		if e.g.IsAnd(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// apply commits a LAC: rewires the graph, incrementally resimulates, folds
+// the PO changes into the metric state, repairs the cuts and the SASIMI
+// index. It returns the change set.
+func (e *engine) apply(l lac.LAC) aig.ChangeSet {
+	cs := e.g.ReplaceWithLit(l.Target, l.NewLit)
+	e.s.ResimulateFrom(cs.Rewired)
+	for o := 0; o < e.g.NumPOs(); o++ {
+		e.s.POVal(o, e.poScratch)
+		e.st.CommitPO(o, e.poScratch)
+	}
+	if e.cuts != nil && e.incCuts {
+		t0 := time.Now()
+		e.cuts.UpdateAfter(cs)
+		e.stats.Step.Cuts += time.Since(t0)
+	}
+	e.gen.Reindex()
+	e.stats.Applied++
+	e.iter++
+	return cs
+}
+
+// reachedCap reports whether the safety iteration cap has been hit.
+func (e *engine) reachedCap() bool {
+	return e.opt.MaxIters > 0 && e.stats.Applied >= e.opt.MaxIters
+}
+
+// snapshot captures the full synthesis state for rollback (used by the
+// baselines whose estimates can be wrong: AccALS and depth-limited VECBEE).
+type snapshot struct {
+	g *aig.Graph
+}
+
+func (e *engine) snapshot() snapshot { return snapshot{g: e.g.Clone()} }
+
+// restore rolls the engine back to a snapshot, rebuilding the derived
+// state (simulation, metric, cuts, generator) from scratch.
+func (e *engine) restore(sn snapshot) {
+	e.g = sn.g
+	simOpt, _ := simOptions(e.g, e.opt) // validated at construction
+	e.s = sim.New(e.g, simOpt)
+	weights := e.opt.Weights
+	if weights == nil && e.opt.Metric.Numeric() {
+		weights = metric.UnsignedWeights(e.g.NumPOs())
+	}
+	e.st = metric.NewState(e.opt.Metric, e.exact, weights, e.s.Patterns())
+	for o := 0; o < e.g.NumPOs(); o++ {
+		e.s.POVal(o, e.poScratch)
+		e.st.CommitPO(o, e.poScratch)
+	}
+	e.cuts = nil // next comprehensive pass rebuilds the cuts
+	e.gen = lac.NewGenerator(e.g, e.s, e.opt.LACs)
+	e.stats.Rollbacks++
+}

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"dpals/internal/cpm"
+	"dpals/internal/cut"
+	"dpals/internal/lac"
+)
+
+// comprehensive performs the full error analysis of Fig. 3(b): fresh
+// disjoint cuts, full CPM, evaluation of every candidate LAC. It returns
+// the per-node bests sorted by ascending error.
+func (e *engine) comprehensive() []lac.NodeBest {
+	t0 := time.Now()
+	e.cuts = cut.NewSet(e.g)
+	t1 := time.Now()
+	e.stats.Step.Cuts += t1.Sub(t0)
+	res := cpm.BuildDisjoint(e.g, e.s, e.cuts, nil)
+	t2 := time.Now()
+	e.stats.Step.CPM += t2.Sub(t1)
+	bests := lac.EvaluateTargets(e.gen, res, e.st, e.liveTargets(), e.opt.Threads)
+	e.stats.Step.Eval += time.Since(t2)
+	e.stats.Phase1++
+	return bests
+}
+
+// runConventional is the flow of Fig. 3(a): every iteration performs a
+// comprehensive analysis and applies the single LAC with the smallest
+// error, until no candidate fits the threshold.
+func (e *engine) runConventional() {
+	for !e.reachedCap() {
+		bests := e.comprehensive()
+		if len(bests) == 0 || bests[0].Best.Err > e.opt.Threshold {
+			return
+		}
+		chosen := bests[0]
+		e.apply(chosen.Best.LAC)
+		if e.opt.OnIteration != nil {
+			e.opt.OnIteration(e.iter, chosen, bests)
+		}
+	}
+}
+
+// runVECBEE is the original VECBEE baseline: one-cut CPM with depth limit
+// l. With l=∞ the estimate is exact and the loop mirrors the conventional
+// flow; with finite l the estimate can be wrong, so every application is
+// validated against the real (sampled) error and rolled back on violation.
+func (e *engine) runVECBEE() {
+	exactMode := e.opt.DepthLimit <= 0
+	for !e.reachedCap() {
+		t1 := time.Now()
+		res := cpm.BuildVECBEE(e.g, e.s, e.opt.DepthLimit, nil)
+		t2 := time.Now()
+		e.stats.Step.CPM += t2.Sub(t1)
+		bests := lac.EvaluateTargets(e.gen, res, e.st, e.liveTargets(), e.opt.Threads)
+		e.stats.Step.Eval += time.Since(t2)
+		e.stats.Phase1++
+		if len(bests) == 0 || bests[0].Best.Err > e.opt.Threshold {
+			return
+		}
+		chosen := bests[0]
+		if exactMode {
+			e.apply(chosen.Best.LAC)
+		} else {
+			sn := e.snapshot()
+			e.apply(chosen.Best.LAC)
+			if e.st.Error() > e.opt.Threshold {
+				e.restore(sn)
+				return
+			}
+		}
+		if e.opt.OnIteration != nil {
+			e.opt.OnIteration(e.iter, chosen, bests)
+		}
+	}
+}
+
+// runAccALS re-implements AccALS [14]: each iteration selects multiple
+// LACs greedily on the estimated error, applies them in a batch, and
+// validates against the real (sampled) error. When the batch violates the
+// bound or deviates too much from the estimate, it rolls back and applies
+// only the single best LAC — the SEALS fallback the paper describes.
+func (e *engine) runAccALS() {
+	maxMulti := e.opt.MaxMulti
+	if maxMulti <= 0 {
+		maxMulti = 10
+	}
+	accTol := e.opt.AccTol
+	if accTol <= 0 {
+		accTol = 0.05
+	}
+	for !e.reachedCap() {
+		bests := e.comprehensive()
+		if len(bests) == 0 || bests[0].Best.Err > e.opt.Threshold {
+			return
+		}
+		cur := e.st.Error()
+		// Greedy multi-selection on estimated combined error.
+		var sel []lac.NodeBest
+		est := cur
+		for _, nb := range bests {
+			inc := nb.Best.Err - cur
+			if inc < 0 {
+				inc = 0
+			}
+			if est+inc > e.opt.Threshold {
+				break // sorted by error: later candidates are no better
+			}
+			sel = append(sel, nb)
+			est += inc
+			if len(sel) == maxMulti {
+				break
+			}
+		}
+		if len(sel) <= 1 {
+			chosen := bests[0]
+			e.apply(chosen.Best.LAC)
+			if e.opt.OnIteration != nil {
+				e.opt.OnIteration(e.iter, chosen, bests)
+			}
+			continue
+		}
+		sn := e.snapshot()
+		applied := 0
+		for _, nb := range sel {
+			l := nb.Best.LAC
+			if !e.g.IsAnd(l.Target) || e.g.IsDead(l.NewLit.Var()) {
+				continue // consumed by an earlier LAC of this batch
+			}
+			if !l.IsConst() && e.g.InTFO(l.Target, l.NewLit.Var()) {
+				continue // earlier rewiring made this substitution cyclic
+			}
+			e.apply(l)
+			applied++
+			if e.opt.OnIteration != nil {
+				e.opt.OnIteration(e.iter, nb, bests)
+			}
+		}
+		real := e.st.Error()
+		dev := math.Abs(real - est)
+		if real > e.opt.Threshold || dev > accTol*math.Max(est, 1e-12) {
+			// Estimate was unreliable: fall back to a single LAC (SEALS).
+			e.restore(sn)
+			e.stats.Applied -= applied
+			e.iter -= applied
+			chosen := bests[0]
+			e.apply(chosen.Best.LAC)
+			if e.opt.OnIteration != nil {
+				e.opt.OnIteration(e.iter, chosen, bests)
+			}
+		}
+	}
+}
+
+// runDualPhase is the paper's contribution (Fig. 3(c)): dual-phase rounds
+// of one comprehensive analysis followed by up to N incremental
+// iterations restricted to the candidate set S_cand. With selfAdapt the
+// two §III-D techniques are enabled: parameter tuning from the step-time
+// profile of the last dual phase, and the adaptive early stop of phase 2.
+func (e *engine) runDualPhase(selfAdapt bool) {
+	e.incCuts = true
+	M := e.opt.M
+	if M <= 0 {
+		if e.stats.NodesBefore < 4000 {
+			M = 60
+		} else {
+			M = 150
+		}
+	}
+	N := e.opt.N
+	if N <= 0 {
+		N = M / 3
+	}
+	if N < 1 {
+		N = 1
+	}
+
+	for !e.reachedCap() {
+		stepBefore := e.stats.Step
+		// ---------- Phase 1: comprehensive analysis ----------
+		bests := e.comprehensive()
+		if len(bests) == 0 || bests[0].Best.Err > e.opt.Threshold {
+			return
+		}
+		E0 := e.st.Error() // error at the start of this dual-phase iteration
+		chosen := bests[0]
+		cs := e.apply(chosen.Best.LAC)
+		if e.opt.OnIteration != nil {
+			e.opt.OnIteration(e.iter, chosen, bests)
+		}
+		// Candidate set: the M remaining nodes with the smallest errors,
+		// excluding anything the applied LAC removed.
+		removed := map[int32]bool{}
+		for _, r := range cs.Removed {
+			removed[r] = true
+		}
+		var scand []int32
+		for _, nb := range bests[1:] {
+			if removed[nb.Node] {
+				continue
+			}
+			scand = append(scand, nb.Node)
+			if len(scand) == M {
+				break
+			}
+		}
+
+		// ---------- Phase 2: incremental analysis ----------
+		sumEr := 0.0
+		for it := 0; it < N && !e.reachedCap(); it++ {
+			// Keep only still-live candidates.
+			live := scand[:0]
+			for _, v := range scand {
+				if e.g.IsAnd(v) {
+					live = append(live, v)
+				}
+			}
+			scand = live
+			if len(scand) == 0 {
+				break
+			}
+			t1 := time.Now()
+			res := cpm.BuildDisjoint(e.g, e.s, e.cuts, scand)
+			t2 := time.Now()
+			e.stats.Step.CPM += t2.Sub(t1)
+			bests2 := lac.EvaluateTargets(e.gen, res, e.st, scand, e.opt.Threads)
+			e.stats.Step.Eval += time.Since(t2)
+			if len(bests2) == 0 || bests2[0].Best.Err > e.opt.Threshold {
+				break
+			}
+			cand := bests2[0]
+			er := 0.0
+			if selfAdapt {
+				E := e.st.Error()
+				if einc := cand.Best.Err - E; einc > 0 {
+					if E0 > 0 {
+						er = einc / E0
+					} else {
+						er = math.Inf(1)
+					}
+				}
+				Eb := e.opt.Threshold
+				stop := false
+				switch {
+				case E <= e.opt.Br*Eb:
+					// Far from the bound: unconstrained.
+				case E <= e.opt.Bs*Eb:
+					stop = er > e.opt.Et
+				default:
+					stop = sumEr+er > e.opt.Et
+				}
+				if stop {
+					break
+				}
+			}
+			cs2 := e.apply(cand.Best.LAC)
+			e.stats.Phase2++
+			sumEr += er
+			if e.opt.OnIteration != nil {
+				e.opt.OnIteration(e.iter, cand, bests2)
+			}
+			// Remove the target and its removed MFFC from S_cand.
+			gone := map[int32]bool{cand.Node: true}
+			for _, r := range cs2.Removed {
+				gone[r] = true
+			}
+			kept := scand[:0]
+			for _, v := range scand {
+				if !gone[v] {
+					kept = append(kept, v)
+				}
+			}
+			scand = kept
+		}
+
+		// ---------- Self-adaption: tune parameters from the last phase ----------
+		if selfAdapt {
+			d := StepTimes{
+				Cuts: e.stats.Step.Cuts - stepBefore.Cuts,
+				CPM:  e.stats.Step.CPM - stepBefore.CPM,
+				Eval: e.stats.Step.Eval - stepBefore.Eval,
+			}
+			total := d.Total()
+			if total > 0 {
+				switch {
+				case d.Cuts*2 > total:
+					// Step 1 dominates: growing M amortises the
+					// comprehensive pass over more phase-2 iterations
+					// without increasing the incremental cut work.
+					M = growInt(M, 1+e.opt.RInc)
+				case d.CPM*2 > total:
+					// Step 2 dominates: shrink the candidate set so fewer
+					// CPM entries are rebuilt per iteration.
+					M = shrinkInt(M, 1-e.opt.RInc, 6)
+				case d.Eval*2 > total:
+					// Step 3 dominates: fewer LACs per target node. With
+					// constant LACs there are only two per node and nothing
+					// to reduce; shrinking M instead would buy more
+					// comprehensive passes, so leave the parameters alone.
+					if e.opt.LACs.SASIMI && e.gen.MaxPerNode() > 1 {
+						e.gen.SetMaxPerNode(e.gen.MaxPerNode() / 2)
+					}
+				}
+				N = M / 3
+				if N < 1 {
+					N = 1
+				}
+			}
+			e.stats.MTrace = append(e.stats.MTrace, M)
+		}
+	}
+}
+
+func growInt(v int, f float64) int {
+	n := int(float64(v) * f)
+	if n <= v {
+		n = v + 1
+	}
+	return n
+}
+
+func shrinkInt(v int, f float64, floor int) int {
+	n := int(float64(v) * f)
+	if n < floor {
+		n = floor
+	}
+	return n
+}

@@ -1,0 +1,148 @@
+// Package core implements the iterative approximate logic synthesis flows
+// of the paper: the conventional single-LAC flow with comprehensive error
+// analysis (enhanced VECBEE: disjoint cuts + CPM), the original VECBEE
+// baseline with a configurable depth limit, the AccALS multi-LAC baseline,
+// and the dual-phase framework DP and its self-adaptive variant DP-SA —
+// the paper's contribution.
+package core
+
+import (
+	"time"
+
+	"dpals/internal/lac"
+	"dpals/internal/metric"
+)
+
+// Flow selects the synthesis algorithm.
+type Flow int
+
+// Supported flows.
+const (
+	// FlowConventional is Fig. 3(a): one LAC per iteration, comprehensive
+	// error analysis with disjoint cuts — the "enhanced VECBEE" the paper
+	// compares against and the first phase of the dual-phase framework.
+	FlowConventional Flow = iota
+	// FlowVECBEE is the original VECBEE [19] with one-cut depth limit
+	// Options.DepthLimit (0 = ∞, fully accurate; 1 = direct fanout).
+	FlowVECBEE
+	// FlowAccALS is AccALS [14]: multiple LACs per iteration with
+	// post-apply validation and single-LAC (SEALS) fallback.
+	FlowAccALS
+	// FlowDP is the dual-phase framework without self-adaption.
+	FlowDP
+	// FlowDPSA is the dual-phase framework with the two self-adaption
+	// techniques of §III-D.
+	FlowDPSA
+)
+
+func (f Flow) String() string {
+	switch f {
+	case FlowConventional:
+		return "Conventional"
+	case FlowVECBEE:
+		return "VECBEE"
+	case FlowAccALS:
+		return "AccALS"
+	case FlowDP:
+		return "DP"
+	case FlowDPSA:
+		return "DP-SA"
+	}
+	return "Flow(?)"
+}
+
+// Options configures a synthesis run. The zero value is not usable; start
+// from DefaultOptions.
+type Options struct {
+	Flow      Flow
+	Metric    metric.Kind
+	Threshold float64        // error upper bound E_b (ER: fraction; MSE/MED: absolute)
+	Weights   metric.Weights // PO weights; nil = unsigned binary, LSB-first
+
+	Patterns int   // Monte-Carlo patterns
+	Seed     int64 // pattern RNG seed
+	Threads  int   // parallel workers for LAC evaluation (≤1 serial)
+
+	// Exhaustive simulates all 2^PIs input patterns instead of Monte-Carlo
+	// sampling, making every error figure exact. Only allowed for circuits
+	// with at most 24 primary inputs.
+	Exhaustive bool
+
+	// InputProbabilities biases the Monte-Carlo input distribution: entry
+	// i is the probability that input i reads 1 (missing entries: 0.5).
+	// Ignored in exhaustive mode.
+	InputProbabilities []float64
+
+	LACs lac.Options // which LAC kinds to generate
+
+	// VECBEE baseline.
+	DepthLimit int // l: 0 = ∞
+
+	// Dual-phase parameters. M ≤ 0 selects the paper defaults (60 for
+	// circuits under 4000 AND nodes, 150 otherwise); N ≤ 0 selects M/3.
+	M, N int
+
+	// Self-adaption parameters (§III-D), used by FlowDPSA.
+	RInc float64 // candidate-set growth factor (paper: 0.25)
+	Br   float64 // relaxed bound ratio (paper: 0.025)
+	Bs   float64 // strict bound ratio (paper: 0.25)
+	Et   float64 // relative-error-increase threshold (paper: 0.5)
+
+	// AccALS parameters.
+	MaxMulti int     // max LACs per iteration (≤0: 10)
+	AccTol   float64 // allowed relative deviation estimate vs real (≤0: 0.05)
+
+	// MaxIters caps the number of applied LACs (safety; ≤0 = unlimited).
+	MaxIters int
+
+	// OnIteration, when non-nil, observes every applied LAC: the 1-based
+	// iteration number, the chosen candidate, and the full sorted
+	// evaluation of the iteration (phase-2 iterations only see the
+	// candidate set S_cand). Used by the Fig. 4 experiment.
+	OnIteration func(iter int, chosen lac.NodeBest, bests []lac.NodeBest)
+}
+
+// DefaultOptions returns the paper's experimental configuration for the
+// given flow and metric.
+func DefaultOptions(flow Flow, kind metric.Kind, threshold float64) Options {
+	return Options{
+		Flow:      flow,
+		Metric:    kind,
+		Threshold: threshold,
+		Patterns:  8192,
+		Seed:      1,
+		Threads:   1,
+		LACs:      lac.Options{Constants: true},
+		RInc:      0.25,
+		Br:        0.025,
+		Bs:        0.25,
+		Et:        0.5,
+	}
+}
+
+// StepTimes records the cumulated runtime of the three error-analysis steps
+// of Fig. 3: (1) obtaining/updating disjoint cuts, (2) calculating the CPM,
+// (3) calculating the error increases of the LACs.
+type StepTimes struct {
+	Cuts time.Duration
+	CPM  time.Duration
+	Eval time.Duration
+}
+
+// Total returns the summed step time.
+func (t StepTimes) Total() time.Duration { return t.Cuts + t.CPM + t.Eval }
+
+// Stats reports what a run did.
+type Stats struct {
+	Applied     int // LACs applied in total
+	Phase1      int // comprehensive iterations (= dual-phase rounds for DP)
+	Phase2      int // incremental iterations
+	Rollbacks   int // AccALS/VECBEE reverted iterations
+	NodesBefore int
+	NodesAfter  int
+	Runtime     time.Duration
+	Step        StepTimes
+
+	// Self-adaption trajectory (DP-SA): the M value after each dual phase.
+	MTrace []int
+}

@@ -1,0 +1,453 @@
+// Package cpm builds the change propagation matrix (CPM) of VECBEE [19]:
+// P[i,n,o] = 1 iff flipping node n under input pattern i flips primary
+// output o. Rows are computed bottom-up in reverse topological order with
+// Eq. (1) of the paper, P[i,n,o] = P[i,t,o] ∧ P[i,n,t], where t is the
+// disjoint-cut element covering o (SEALS [20]); the local Boolean
+// differences P[i,n,t] come from one flip-resimulation of the bounded
+// region between n and its cut.
+//
+// Two builders are provided:
+//
+//   - BuildDisjoint — the enhanced-VECBEE/SEALS scheme used by the
+//     conventional flow and by both phases of the dual-phase framework.
+//     With a target set it computes the partial CPM restricted to
+//     N(S_cand) exactly as §III-C Example 2 describes.
+//   - BuildVECBEE — the original VECBEE baseline with a configurable depth
+//     limit l: exact full-TFO flip propagation for l=∞, and the
+//     "direct-fanout" approximation of Table II for l=1.
+package cpm
+
+import (
+	"sort"
+
+	"dpals/internal/aig"
+	"dpals/internal/bitvec"
+	"dpals/internal/cut"
+	"dpals/internal/sim"
+)
+
+// Row holds the CPM entries of one node: for each reachable PO index,
+// the patterns under which a flip of the node propagates to that PO.
+type Row struct {
+	POs   []int32
+	Diffs []bitvec.Vec
+}
+
+// Find returns the diff vector for PO o, or nil.
+func (r *Row) Find(o int32) bitvec.Vec {
+	for i, p := range r.POs {
+		if p == o {
+			return r.Diffs[i]
+		}
+	}
+	return nil
+}
+
+// Result is a computed (possibly partial) CPM.
+type Result struct {
+	Words int
+	rows  []Row // per var; empty when not computed/retained
+}
+
+// Row returns the row of node v (empty when not computed or freed).
+func (r *Result) Row(v int32) *Row { return &r.rows[v] }
+
+// Has reports whether node v has a retained row.
+func (r *Result) Has(v int32) bool { return len(r.rows[v].POs) > 0 }
+
+// Closure computes N(S_cand) per §III-C: starting from the targets, every
+// node whose CPM entries are needed to derive the targets' entries — the
+// transitive closure of targets under disjoint-cut membership (sinks
+// excluded). The result includes the targets and is deduplicated.
+func Closure(cuts *cut.Set, targets []int32) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	queue := append([]int32(nil), targets...)
+	for _, v := range targets {
+		seen[v] = true
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		out = append(out, v)
+		for _, e := range cuts.Cut(v) {
+			if !cut.IsSink(e) && !seen[e] {
+				seen[e] = true
+				queue = append(queue, e)
+			}
+		}
+	}
+	return out
+}
+
+// regionSimulator performs flip-resimulation of the bounded region between
+// a node and a boundary, reusing scratch vectors across calls.
+type regionSimulator struct {
+	g     *aig.Graph
+	s     *sim.Sim
+	words int
+	pos   []int32 // topo position per var (for sorting regions)
+
+	inRegion []uint32
+	epoch    uint32
+	scratch  []bitvec.Vec
+	region   []int32
+}
+
+func newRegionSimulator(g *aig.Graph, s *sim.Sim) *regionSimulator {
+	rs := &regionSimulator{
+		g:        g,
+		s:        s,
+		words:    s.Words(),
+		pos:      make([]int32, g.NumVars()),
+		inRegion: make([]uint32, g.NumVars()),
+		scratch:  make([]bitvec.Vec, g.NumVars()),
+	}
+	for i, v := range g.Topo() {
+		rs.pos[v] = int32(i)
+	}
+	return rs
+}
+
+// flipVal returns the flipped-simulation value of variable v: its scratch
+// value when v is in the current region, its normal value otherwise.
+func (rs *regionSimulator) flipVal(v int32) bitvec.Vec {
+	if rs.inRegion[v] == rs.epoch {
+		return rs.scratch[v]
+	}
+	return rs.s.Val(v)
+}
+
+func (rs *regionSimulator) ensureScratch(v int32) bitvec.Vec {
+	if rs.scratch[v] == nil {
+		rs.scratch[v] = bitvec.NewWords(rs.words)
+	}
+	return rs.scratch[v]
+}
+
+// beginRegion starts a fresh region rooted at n.
+func (rs *regionSimulator) beginRegion(n int32) {
+	rs.epoch++
+	if rs.epoch == 0 {
+		for i := range rs.inRegion {
+			rs.inRegion[i] = 0
+		}
+		rs.epoch = 1
+	}
+	rs.region = rs.region[:0]
+	rs.inRegion[n] = rs.epoch
+}
+
+// collectBounded gathers the transitive fanout of n, stopping at (but
+// including) nodes in boundary.
+func (rs *regionSimulator) collectBounded(n int32, boundary map[int32]bool) {
+	rs.beginRegion(n)
+	g := rs.g
+	stack := []int32{n}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v != n && boundary[v] {
+			continue
+		}
+		for _, f := range g.Fanouts(v) {
+			if rs.inRegion[f] != rs.epoch {
+				rs.inRegion[f] = rs.epoch
+				rs.region = append(rs.region, f)
+				stack = append(stack, f)
+			}
+		}
+	}
+}
+
+// collectDepth gathers the transitive fanout of n up to l levels (edges);
+// l ≤ 0 means unbounded. It returns the frontier: region nodes at exactly
+// depth l (never expanded). Depths are min edge distances (BFS).
+func (rs *regionSimulator) collectDepth(n int32, l int, depth map[int32]int) (frontier []int32) {
+	rs.beginRegion(n)
+	g := rs.g
+	queue := []int32{n}
+	depth[n] = 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if l > 0 && depth[v] >= l {
+			frontier = append(frontier, v)
+			continue
+		}
+		for _, f := range g.Fanouts(v) {
+			if rs.inRegion[f] != rs.epoch {
+				rs.inRegion[f] = rs.epoch
+				depth[f] = depth[v] + 1
+				rs.region = append(rs.region, f)
+				queue = append(queue, f)
+			}
+		}
+	}
+	return frontier
+}
+
+// propagate flips node n and simulates the collected region in topological
+// order. After the call flipVal returns in-region values.
+func (rs *regionSimulator) propagate(n int32) {
+	sort.Slice(rs.region, func(i, j int) bool { return rs.pos[rs.region[i]] < rs.pos[rs.region[j]] })
+	g := rs.g
+	sn := rs.ensureScratch(n)
+	sn.Not(rs.s.Val(n))
+	sn.Mask(rs.s.Patterns())
+	for _, v := range rs.region {
+		f0, f1 := g.Fanins(v)
+		a, b := rs.flipVal(f0.Var()), rs.flipVal(f1.Var())
+		dst := rs.ensureScratch(v)
+		m0, m1 := uint64(0), uint64(0)
+		if f0.IsCompl() {
+			m0 = ^uint64(0)
+		}
+		if f1.IsCompl() {
+			m1 = ^uint64(0)
+		}
+		for i := range dst {
+			dst[i] = (a[i] ^ m0) & (b[i] ^ m1)
+		}
+		dst.Mask(rs.s.Patterns())
+	}
+}
+
+// diffAt returns flipVal(v) ⊕ val(v) in dst.
+func (rs *regionSimulator) diffAt(v int32, dst bitvec.Vec) {
+	dst.Xor(rs.flipVal(v), rs.s.Val(v))
+}
+
+// BuildDisjoint computes CPM rows with the disjoint-cut scheme. When
+// targets is nil, rows for every live AND node are computed and retained.
+// Otherwise only the closure N(targets) is processed and only the targets'
+// rows are retained (intermediate rows are reference-counted and freed as
+// soon as their last consumer is done).
+func BuildDisjoint(g *aig.Graph, s *sim.Sim, cuts *cut.Set, targets []int32) *Result {
+	res := &Result{Words: s.Words(), rows: make([]Row, g.NumVars())}
+
+	var procList []int32
+	keep := make([]bool, g.NumVars())
+	if targets == nil {
+		for _, v := range g.Topo() {
+			if g.IsAnd(v) {
+				procList = append(procList, v)
+				keep[v] = true
+			}
+		}
+	} else {
+		procList = Closure(cuts, targets)
+		for _, v := range targets {
+			keep[v] = true
+		}
+	}
+
+	// Reference counts: how many still-unprocessed nodes need each row.
+	refs := make([]int32, g.NumVars())
+	inProc := make([]bool, g.NumVars())
+	for _, v := range procList {
+		inProc[v] = true
+	}
+	for _, v := range procList {
+		for _, e := range cuts.Cut(v) {
+			if !cut.IsSink(e) {
+				refs[e]++
+			}
+		}
+	}
+
+	rs := newRegionSimulator(g, s)
+	pos := rs.pos
+	sort.Slice(procList, func(i, j int) bool { return pos[procList[i]] > pos[procList[j]] })
+
+	cutSet := make(map[int32]bool)
+	for _, v := range procList {
+		elems := cuts.Cut(v)
+		if len(elems) == 0 {
+			continue // reaches no PO: a flip can never be observed
+		}
+		// Flip-simulate the region bounded by the node cut elements. Sink
+		// elements leave their whole PO cone inside the region, so the
+		// diff at the PO driver is available directly.
+		for k := range cutSet {
+			delete(cutSet, k)
+		}
+		for _, e := range elems {
+			if !cut.IsSink(e) {
+				cutSet[e] = true
+			}
+		}
+		rs.collectBounded(v, cutSet)
+		rs.propagate(v)
+		// Assemble the row: Eq. (1) per covered PO.
+		row := &res.rows[v]
+		for _, e := range elems {
+			if cut.IsSink(e) {
+				// A sink is a universal one-cut: P[v,o] is the Boolean
+				// difference observed at the PO driver (all-ones when v
+				// drives o itself).
+				o := cut.SinkPO(e)
+				d := bitvec.NewWords(s.Words())
+				rs.diffAt(g.PO(o).Var(), d)
+				row.POs = append(row.POs, int32(o))
+				row.Diffs = append(row.Diffs, d)
+				continue
+			}
+			local := bitvec.NewWords(s.Words())
+			rs.diffAt(e, local)
+			erow := &res.rows[e]
+			for i, o := range erow.POs {
+				d := bitvec.NewWords(s.Words())
+				d.And(erow.Diffs[i], local)
+				row.POs = append(row.POs, o)
+				row.Diffs = append(row.Diffs, d)
+			}
+			// Release the element row once its last consumer is done.
+			refs[e]--
+			if refs[e] == 0 && !keep[e] {
+				res.rows[e] = Row{}
+			}
+		}
+		if refs[v] == 0 && !keep[v] {
+			res.rows[v] = Row{}
+		}
+	}
+	return res
+}
+
+// ReachSets computes, for every variable, the bitset of PO indices
+// reachable from it (drivers reach their own POs). Used by the VECBEE
+// baseline, which does not build disjoint cuts.
+func ReachSets(g *aig.Graph) []bitvec.Vec {
+	words := bitvec.Words(g.NumPOs())
+	reach := make([]bitvec.Vec, g.NumVars())
+	order := g.Topo()
+	drivers := map[int32][]int{}
+	for o, po := range g.POs() {
+		drivers[po.Var()] = append(drivers[po.Var()], o)
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		r := bitvec.NewWords(words)
+		for _, o := range drivers[v] {
+			r.Set(o, true)
+		}
+		for _, f := range g.Fanouts(v) {
+			if !g.IsDead(f) && reach[f] != nil {
+				r.OrWith(reach[f])
+			}
+		}
+		reach[v] = r
+	}
+	return reach
+}
+
+// BuildVECBEE computes CPM rows with the original VECBEE scheme at depth
+// limit l: each node's flip is propagated exactly through its transitive
+// fanout up to l levels; beyond the frontier the effect is approximated by
+// OR-combining the frontier nodes' own rows. l ≤ 0 means ∞ (fully exact,
+// one whole-cone resimulation per node). When targets is non-nil only the
+// targets' rows are retained, but — unlike the disjoint scheme — every
+// node must still be processed when l is finite, because frontier
+// composition may need any row.
+func BuildVECBEE(g *aig.Graph, s *sim.Sim, l int, targets []int32) *Result {
+	res := &Result{Words: s.Words(), rows: make([]Row, g.NumVars())}
+	keep := make([]bool, g.NumVars())
+	if targets == nil {
+		for i := range keep {
+			keep[i] = true
+		}
+	} else {
+		for _, v := range targets {
+			keep[v] = true
+		}
+	}
+
+	infinite := l <= 0
+
+	drivers := map[int32][]int{}
+	for o, po := range g.POs() {
+		drivers[po.Var()] = append(drivers[po.Var()], o)
+	}
+
+	rs := newRegionSimulator(g, s)
+	order := g.Topo()
+	depth := map[int32]int{}
+
+	ones := bitvec.NewWords(s.Words())
+	ones.SetAll()
+	ones.Mask(s.Patterns())
+
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if !g.IsAnd(v) {
+			continue
+		}
+		if infinite && targets != nil && !keep[v] {
+			// With l=∞ rows never compose; skip non-targets entirely.
+			continue
+		}
+		for k := range depth {
+			delete(depth, k)
+		}
+		frontier := rs.collectDepth(v, l, depth)
+		rs.propagate(v)
+
+		row := &res.rows[v]
+		covered := map[int32]bool{}
+		// Exact part: POs whose driver lies inside the simulated region
+		// (or is v itself).
+		for _, os := range drivers[v] {
+			row.POs = append(row.POs, int32(os))
+			row.Diffs = append(row.Diffs, ones)
+			covered[int32(os)] = true
+		}
+		for _, u := range rs.region {
+			for _, o := range drivers[u] {
+				if covered[int32(o)] {
+					continue
+				}
+				d := bitvec.NewWords(s.Words())
+				rs.diffAt(u, d)
+				row.POs = append(row.POs, int32(o))
+				row.Diffs = append(row.Diffs, d)
+				covered[int32(o)] = true
+			}
+		}
+		// Approximate part: POs beyond the frontier, OR-combined over the
+		// frontier nodes' own rows (finite l only; with l=∞ the region is
+		// the whole cone and nothing remains).
+		if !infinite {
+			acc := map[int32]bitvec.Vec{}
+			scratch := bitvec.NewWords(s.Words())
+			for _, f := range frontier {
+				fdiff := bitvec.NewWords(s.Words())
+				rs.diffAt(f, fdiff)
+				frow := &res.rows[f]
+				for j, o := range frow.POs {
+					if covered[o] {
+						continue
+					}
+					scratch.And(frow.Diffs[j], fdiff)
+					if a, ok := acc[o]; ok {
+						a.OrWith(scratch)
+					} else {
+						nv := bitvec.NewWords(s.Words())
+						nv.CopyFrom(scratch)
+						acc[o] = nv
+					}
+				}
+			}
+			oIdx := make([]int32, 0, len(acc))
+			for o := range acc {
+				oIdx = append(oIdx, o)
+			}
+			sort.Slice(oIdx, func(a, b int) bool { return oIdx[a] < oIdx[b] })
+			for _, o := range oIdx {
+				row.POs = append(row.POs, o)
+				row.Diffs = append(row.Diffs, acc[o])
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,349 @@
+// Package cut computes the closest disjoint cuts used for efficient change
+// propagation matrix construction (SEALS [20], as adopted by the dual-phase
+// framework), and updates them incrementally after a local approximate
+// change using the cut preservation condition of paper §III-B.
+//
+// A disjoint cut of node n is a set of one-cuts — one per primary output
+// reachable from n — whose transitive fanout cones are pairwise disjoint.
+// Primary outputs are modelled as virtual sink elements so that a node
+// directly driving a PO has that sink in its cut.
+//
+// Construction invariant: in any valid disjoint cut, element t covers
+// exactly Reach(t), the POs reachable from t. A set of elements is
+// therefore a valid disjoint cut iff their Reach sets partition Reach(n)
+// and every n→PO path passes the element covering that PO. The builder
+// starts from the immediate successors of n and repeatedly raises any two
+// elements with overlapping Reach to their own cut elements until all
+// Reach sets are pairwise disjoint; the loop terminates because elements
+// only move toward the POs.
+package cut
+
+import (
+	"fmt"
+	"sort"
+
+	"dpals/internal/aig"
+	"dpals/internal/bitvec"
+)
+
+// EncodeSink encodes PO index o as a cut element.
+func EncodeSink(o int) int32 { return -1 - int32(o) }
+
+// IsSink reports whether a cut element is a virtual PO sink.
+func IsSink(e int32) bool { return e < 0 }
+
+// SinkPO returns the PO index of a sink element.
+func SinkPO(e int32) int { return int(-1 - e) }
+
+// Set holds the disjoint cuts and PO-reachability bitsets of every live AND
+// node of a graph.
+type Set struct {
+	g       *aig.Graph
+	poWords int
+
+	reach []bitvec.Vec // per var: POs reachable; nil when not computed
+	cuts  [][]int32    // per var: disjoint cut elements
+
+	// scratch
+	tmp bitvec.Vec
+
+	// Stats of the last update.
+	LastRecomputed int
+}
+
+// NewSet computes the disjoint cuts of all nodes of g.
+func NewSet(g *aig.Graph) *Set {
+	s := &Set{
+		g:       g,
+		poWords: bitvec.Words(g.NumPOs()),
+	}
+	s.grow()
+	s.tmp = bitvec.NewWords(s.poWords)
+	order := g.Topo()
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if g.IsAnd(v) {
+			s.recompute(v)
+		}
+	}
+	return s
+}
+
+func (s *Set) grow() {
+	n := s.g.NumVars()
+	if len(s.reach) < n {
+		r := make([]bitvec.Vec, n)
+		copy(r, s.reach)
+		s.reach = r
+		c := make([][]int32, n)
+		copy(c, s.cuts)
+		s.cuts = c
+	}
+}
+
+// Graph returns the underlying graph.
+func (s *Set) Graph() *aig.Graph { return s.g }
+
+// POWords returns the number of words in a PO-reachability bitset.
+func (s *Set) POWords() int { return s.poWords }
+
+// Cut returns the disjoint cut elements of node v (vars ≥ 0, encoded sinks
+// < 0). The slice is owned by the set.
+func (s *Set) Cut(v int32) []int32 { return s.cuts[v] }
+
+// Reach returns the PO-reachability bitset of node v. The vector is owned
+// by the set and is nil for nodes that reach no PO.
+func (s *Set) Reach(v int32) bitvec.Vec { return s.reach[v] }
+
+// reachOf returns the reachability set of a cut element, using scratch sink
+// storage for sinks (the returned vector is only valid until the next call
+// with a sink).
+func (s *Set) reachOf(e int32, scratch bitvec.Vec) bitvec.Vec {
+	if IsSink(e) {
+		scratch.Clear()
+		scratch.Set(SinkPO(e), true)
+		return scratch
+	}
+	return s.reach[e]
+}
+
+// elemsIntersect reports whether two cut elements can reach a common PO.
+func (s *Set) elemsIntersect(a, b int32) bool {
+	switch {
+	case IsSink(a) && IsSink(b):
+		return a == b
+	case IsSink(a):
+		return s.reach[b] != nil && s.reach[b].Get(SinkPO(a))
+	case IsSink(b):
+		return s.reach[a] != nil && s.reach[a].Get(SinkPO(b))
+	default:
+		if s.reach[a] == nil || s.reach[b] == nil {
+			return false
+		}
+		return s.reach[a].Intersects(s.reach[b])
+	}
+}
+
+// cutOf returns the expansion of element e: its own disjoint cut for nodes,
+// itself for sinks.
+func (s *Set) cutOf(e int32) []int32 {
+	if IsSink(e) {
+		return []int32{e}
+	}
+	return s.cuts[e]
+}
+
+// successors returns the deduplicated immediate successor elements of v:
+// live fanout nodes plus sinks for directly driven POs.
+func (s *Set) successors(v int32) []int32 {
+	var elems []int32
+	seen := map[int32]bool{}
+	for _, f := range s.g.Fanouts(v) {
+		if !s.g.IsDead(f) && !seen[f] {
+			seen[f] = true
+			elems = append(elems, f)
+		}
+	}
+	for o, po := range s.g.POs() {
+		if po.Var() == v {
+			e := EncodeSink(o)
+			if !seen[e] {
+				seen[e] = true
+				elems = append(elems, e)
+			}
+		}
+	}
+	return elems
+}
+
+// recompute rebuilds reach and cut of node v from its successors, whose
+// cuts must already be valid.
+func (s *Set) recompute(v int32) {
+	elems := s.successors(v)
+
+	// Reachability: union over successors.
+	if s.reach[v] == nil {
+		s.reach[v] = bitvec.NewWords(s.poWords)
+	} else {
+		s.reach[v].Clear()
+	}
+	for _, e := range elems {
+		if IsSink(e) {
+			s.reach[v].Set(SinkPO(e), true)
+		} else if s.reach[e] != nil {
+			s.reach[v].OrWith(s.reach[e])
+		}
+	}
+
+	// Drop successors that reach no PO (dangling side branches).
+	kept := elems[:0]
+	for _, e := range elems {
+		if IsSink(e) || (s.reach[e] != nil && !s.reach[e].IsZero()) {
+			kept = append(kept, e)
+		}
+	}
+	elems = kept
+
+	// Conflict resolution: raise overlapping elements to their own cuts
+	// until all Reach sets are pairwise disjoint.
+	for {
+		ci, cj := -1, -1
+	scan:
+		for i := 0; i < len(elems); i++ {
+			for j := i + 1; j < len(elems); j++ {
+				if s.elemsIntersect(elems[i], elems[j]) {
+					ci, cj = i, j
+					break scan
+				}
+			}
+		}
+		if ci < 0 {
+			break
+		}
+		ei, ej := elems[ci], elems[cj]
+		// Remove both (cj > ci).
+		elems = append(elems[:cj], elems[cj+1:]...)
+		elems = append(elems[:ci], elems[ci+1:]...)
+		seen := map[int32]bool{}
+		for _, e := range elems {
+			seen[e] = true
+		}
+		for _, src := range [][]int32{s.cutOf(ei), s.cutOf(ej)} {
+			for _, e := range src {
+				if !seen[e] {
+					seen[e] = true
+					elems = append(elems, e)
+				}
+			}
+		}
+	}
+	s.cuts[v] = append(s.cuts[v][:0], elems...)
+}
+
+// UpdateAfter incrementally repairs the cut set after a replacement,
+// following paper §III-B: S_c is taken from the ChangeSet, the violating
+// set S_v is the union of the live transitive fanin cones of S_c, and only
+// those nodes are recomputed (in reverse topological order). It returns the
+// recomputed node set.
+func (s *Set) UpdateAfter(cs aig.ChangeSet) []int32 {
+	s.grow()
+	for _, r := range cs.Removed {
+		s.cuts[r] = nil
+		s.reach[r] = nil
+	}
+	// S_v: TFI cones of the surviving S_c members. Fanins of removed nodes
+	// are themselves in FanoutChanged (their fanout lists shrank), so the
+	// cones below removed nodes are covered.
+	roots := make([]int32, 0, len(cs.FanoutChanged))
+	for _, v := range cs.FanoutChanged {
+		if !s.g.IsDead(v) {
+			roots = append(roots, v)
+		}
+	}
+	cone := s.g.TFICone(roots)
+	pos := map[int32]int{}
+	for i, v := range s.g.Topo() {
+		pos[v] = i
+	}
+	var sv []int32
+	for _, v := range cone {
+		if s.g.IsAnd(v) {
+			if _, ok := pos[v]; ok {
+				sv = append(sv, v)
+			}
+		}
+	}
+	sort.Slice(sv, func(i, j int) bool { return pos[sv[i]] > pos[sv[j]] })
+	for _, v := range sv {
+		s.recompute(v)
+	}
+	s.LastRecomputed = len(sv)
+	return sv
+}
+
+// Validate checks every cut for the three defining properties: the element
+// Reach sets partition Reach(n); every element is a one-cut (verified by a
+// path search that avoids the element); and reachability bitsets are
+// consistent with the graph. Intended for tests; cost is O(Y²·E).
+func (s *Set) Validate() error {
+	g := s.g
+	drivers := map[int32][]int{}
+	for o, po := range g.POs() {
+		drivers[po.Var()] = append(drivers[po.Var()], o)
+	}
+	for _, v := range g.Topo() {
+		if !g.IsAnd(v) {
+			continue
+		}
+		// Reference reachability by DFS.
+		ref := bitvec.NewWords(s.poWords)
+		stack := []int32{v}
+		seen := map[int32]bool{v: true}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, o := range drivers[x] {
+				ref.Set(o, true)
+			}
+			for _, f := range g.Fanouts(x) {
+				if !g.IsDead(f) && !seen[f] {
+					seen[f] = true
+					stack = append(stack, f)
+				}
+			}
+		}
+		if s.reach[v] == nil {
+			if !ref.IsZero() {
+				return fmt.Errorf("node %d: reach not computed but POs reachable", v)
+			}
+			continue
+		}
+		if !s.reach[v].Equal(ref) {
+			return fmt.Errorf("node %d: reach mismatch", v)
+		}
+		// Partition check.
+		union := bitvec.NewWords(s.poWords)
+		scratch := bitvec.NewWords(s.poWords)
+		for _, e := range s.cuts[v] {
+			re := s.reachOf(e, scratch)
+			if re == nil {
+				return fmt.Errorf("node %d: element %d has no reach", v, e)
+			}
+			if union.Intersects(re) {
+				return fmt.Errorf("node %d: cut elements overlap at element %d", v, e)
+			}
+			union.OrWith(re)
+		}
+		if !union.Equal(ref) {
+			return fmt.Errorf("node %d: cut covers %v, want %v", v, union, ref)
+		}
+		// One-cut property: for each node element t, no n→PO path for a PO
+		// in Reach(t) may avoid t.
+		for _, e := range s.cuts[v] {
+			if IsSink(e) {
+				continue // trivially a one-cut of its own PO
+			}
+			avoid := e
+			reached := bitvec.NewWords(s.poWords)
+			stack := []int32{v}
+			seen := map[int32]bool{v: true, avoid: true}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, o := range drivers[x] {
+					reached.Set(o, true)
+				}
+				for _, f := range g.Fanouts(x) {
+					if !g.IsDead(f) && !seen[f] {
+						seen[f] = true
+						stack = append(stack, f)
+					}
+				}
+			}
+			if reached.Intersects(s.reach[avoid]) {
+				return fmt.Errorf("node %d: element %d is not a one-cut", v, avoid)
+			}
+		}
+	}
+	return nil
+}

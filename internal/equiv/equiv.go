@@ -1,0 +1,176 @@
+// Package equiv provides formal (SAT-based) checks on synthesis results:
+// combinational equivalence of two circuits, and worst-case-error
+// certification of an approximate circuit — "for every input, the numeric
+// output deviation is at most T" — via a miter construction and the CDCL
+// solver in package sat. Monte-Carlo metrics (package metric) bound the
+// average case; these checks bound the worst case, completing the
+// verification story an approximate-synthesis release needs.
+package equiv
+
+import (
+	"errors"
+	"fmt"
+
+	"dpals/internal/aig"
+	"dpals/internal/gen"
+	"dpals/internal/sat"
+)
+
+// tseitin encodes graph g into s. piVars[i] is the solver variable of the
+// i-th primary input; the returned slice holds one solver literal per
+// primary output.
+func tseitin(s *sat.Solver, g *aig.Graph, piVars []int) []sat.Lit {
+	lits := make([]sat.Lit, g.NumVars())
+	// Constant false: a dedicated variable forced to 0.
+	cf := s.NewVar()
+	s.AddClause(sat.MkLit(cf, true))
+	lits[0] = sat.MkLit(cf, false)
+	for i, v := range g.PIs() {
+		lits[v] = sat.MkLit(piVars[i], false)
+	}
+	conv := func(l aig.Lit) sat.Lit {
+		out := lits[l.Var()]
+		if l.IsCompl() {
+			out = out.Not()
+		}
+		return out
+	}
+	for _, v := range g.Topo() {
+		if g.Type(v) != aig.TypeAnd {
+			continue
+		}
+		f0, f1 := g.Fanins(v)
+		a, b := conv(f0), conv(f1)
+		y := s.NewVar()
+		yl := sat.MkLit(y, false)
+		// y ↔ a∧b
+		s.AddClause(yl.Not(), a)
+		s.AddClause(yl.Not(), b)
+		s.AddClause(yl, a.Not(), b.Not())
+		lits[v] = yl
+	}
+	outs := make([]sat.Lit, g.NumPOs())
+	for o, po := range g.POs() {
+		outs[o] = conv(po)
+	}
+	return outs
+}
+
+// Equivalent checks combinational equivalence of a and b (identical PI/PO
+// interfaces). On inequivalence it returns a counterexample input
+// assignment (indexed like the PIs).
+func Equivalent(a, b *aig.Graph) (bool, []bool, error) {
+	if a.NumPIs() != b.NumPIs() || a.NumPOs() != b.NumPOs() {
+		return false, nil, errors.New("equiv: interface mismatch")
+	}
+	s := sat.New()
+	piVars := make([]int, a.NumPIs())
+	for i := range piVars {
+		piVars[i] = s.NewVar()
+	}
+	oa := tseitin(s, a, piVars)
+	ob := tseitin(s, b, piVars)
+	// Miter: OR of output XORs must be satisfiable for inequivalence.
+	var diffs []sat.Lit
+	for o := range oa {
+		x := s.NewVar()
+		xl := sat.MkLit(x, false)
+		// x ↔ (oa ⊕ ob)
+		s.AddClause(xl.Not(), oa[o], ob[o])
+		s.AddClause(xl.Not(), oa[o].Not(), ob[o].Not())
+		s.AddClause(xl, oa[o].Not(), ob[o])
+		s.AddClause(xl, oa[o], ob[o].Not())
+		diffs = append(diffs, xl)
+	}
+	if !s.AddClause(diffs...) {
+		return true, nil, nil // no satisfiable difference
+	}
+	switch s.Solve() {
+	case sat.Unsat:
+		return true, nil, nil
+	case sat.Sat:
+		cex := make([]bool, len(piVars))
+		for i, v := range piVars {
+			cex[i] = s.Model(v)
+		}
+		return false, cex, nil
+	}
+	return false, nil, errors.New("equiv: solver limit reached")
+}
+
+// buildWCEMiter constructs a single-output circuit that is 1 exactly when
+// |orig(x) − approx(x)| > t, reading both output vectors as unsigned
+// LSB-first integers.
+func buildWCEMiter(orig, approx *aig.Graph, t uint64) *aig.Graph {
+	g := aig.New("wce-miter")
+	b := &gen.Builder{G: g}
+	pis := make([]aig.Lit, orig.NumPIs())
+	for i := range pis {
+		pis[i] = g.AddPI(fmt.Sprintf("x%d", i))
+	}
+	ao := gen.Word(aig.AppendGraph(g, orig, pis))
+	aa := gen.Word(aig.AppendGraph(g, approx, pis))
+	d0, borrow := b.Sub(ao, aa) // orig − approx (mod 2^K), borrow ⇒ approx > orig
+	d1, _ := b.Sub(aa, ao)
+	abs := b.Mux(borrow, d1, d0)
+	thr := b.Const(t, len(abs))
+	viol := b.LtU(thr, abs) // t < |diff|
+	g.AddPO(viol, "violation")
+	return g
+}
+
+// WCEAtMost reports whether the worst-case numeric error of approx against
+// orig (unsigned LSB-first output interpretation) is at most t for every
+// input. On failure it returns a violating input assignment.
+func WCEAtMost(orig, approx *aig.Graph, t uint64) (bool, []bool, error) {
+	if orig.NumPIs() != approx.NumPIs() || orig.NumPOs() != approx.NumPOs() {
+		return false, nil, errors.New("equiv: interface mismatch")
+	}
+	if orig.NumPOs() > 63 {
+		return false, nil, errors.New("equiv: WCE certification limited to ≤ 63 outputs")
+	}
+	m := buildWCEMiter(orig, approx, t)
+	s := sat.New()
+	piVars := make([]int, m.NumPIs())
+	for i := range piVars {
+		piVars[i] = s.NewVar()
+	}
+	outs := tseitin(s, m, piVars)
+	if !s.AddClause(outs[0]) {
+		return true, nil, nil
+	}
+	switch s.Solve() {
+	case sat.Unsat:
+		return true, nil, nil
+	case sat.Sat:
+		cex := make([]bool, len(piVars))
+		for i, v := range piVars {
+			cex[i] = s.Model(v)
+		}
+		return false, cex, nil
+	}
+	return false, nil, errors.New("equiv: solver limit reached")
+}
+
+// WorstCaseError computes the exact worst-case numeric error by binary
+// search over WCEAtMost. The search range is [0, 2^POs − 1].
+func WorstCaseError(orig, approx *aig.Graph) (uint64, error) {
+	if orig.NumPOs() > 62 {
+		return 0, errors.New("equiv: too many outputs for exact WCE")
+	}
+	lo, hi := uint64(0), uint64(1)<<uint(orig.NumPOs())-1
+	// Invariant: WCE > lo−1 (i.e. not certified at lo−1), WCE ≤ hi.
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		ok, _, err := WCEAtMost(orig, approx, mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,118 @@
+package gen
+
+import (
+	"testing"
+)
+
+func TestKoggeStoneExhaustive(t *testing.T) {
+	g := KoggeStoneAdder(5)
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 32; a++ {
+		for b := uint64(0); b < 32; b++ {
+			out := evalOne(t, g, map[string]uint64{"a": a, "b": b})
+			if out["s"] != a+b {
+				t.Fatalf("ks(%d,%d) = %d, want %d", a, b, out["s"], a+b)
+			}
+		}
+	}
+}
+
+func TestKoggeStoneShallowerThanRipple(t *testing.T) {
+	ks := KoggeStoneAdder(32)
+	rc := Adder(32)
+	if ks.Depth() >= rc.Depth() {
+		t.Errorf("Kogge-Stone depth %d not shallower than ripple %d", ks.Depth(), rc.Depth())
+	}
+}
+
+func TestWallaceExhaustive(t *testing.T) {
+	g := WallaceMultiplier(5, 4)
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 32; a++ {
+		for b := uint64(0); b < 16; b++ {
+			out := evalOne(t, g, map[string]uint64{"a": a, "b": b})
+			if out["p"] != a*b {
+				t.Fatalf("wallace(%d,%d) = %d, want %d", a, b, out["p"], a*b)
+			}
+		}
+	}
+}
+
+func TestWallaceMatchesArrayRandom(t *testing.T) {
+	wal := WallaceMultiplier(9, 9)
+	arr := MultU(9, 9)
+	r := rng(77)
+	for i := 0; i < 300; i++ {
+		a, b := r.bits(9), r.bits(9)
+		ow := evalOne(t, wal, map[string]uint64{"a": a, "b": b})
+		oa := evalOne(t, arr, map[string]uint64{"a": a, "b": b})
+		if ow["p"] != oa["p"] {
+			t.Fatalf("wallace(%d,%d)=%d but array=%d", a, b, ow["p"], oa["p"])
+		}
+	}
+}
+
+func TestDividerExhaustive(t *testing.T) {
+	g := Divider(5)
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 32; a++ {
+		for b := uint64(1); b < 32; b++ {
+			out := evalOne(t, g, map[string]uint64{"a": a, "b": b})
+			if out["q"] != a/b || out["r"] != a%b {
+				t.Fatalf("div(%d,%d) = %d rem %d, want %d rem %d", a, b, out["q"], out["r"], a/b, a%b)
+			}
+		}
+	}
+	// Division by zero: saturated quotient, remainder == dividend.
+	for a := uint64(0); a < 32; a += 7 {
+		out := evalOne(t, g, map[string]uint64{"a": a, "b": 0})
+		if out["q"] != 31 || out["r"] != a {
+			t.Fatalf("div(%d,0) = %d rem %d", a, out["q"], out["r"])
+		}
+	}
+}
+
+func TestMinMaxExhaustive(t *testing.T) {
+	g := MinMax(4)
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			out := evalOne(t, g, map[string]uint64{"a": a, "b": b})
+			wmin, wmax := a, b
+			if b < a {
+				wmin, wmax = b, a
+			}
+			if out["min"] != wmin || out["max"] != wmax {
+				t.Fatalf("minmax(%d,%d) = %d/%d", a, b, out["min"], out["max"])
+			}
+		}
+	}
+}
+
+func TestFIRRandom(t *testing.T) {
+	g := FIR(4, 6)
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+	r := rng(91)
+	for i := 0; i < 200; i++ {
+		ins := map[string]uint64{}
+		want := uint64(0)
+		for tap := 0; tap < 4; tap++ {
+			v := r.bits(6)
+			ins[fmtTap(tap)] = v
+			want += v * uint64(tap+1)
+		}
+		out := evalOne(t, g, ins)
+		if out["y"] != want {
+			t.Fatalf("fir = %d, want %d", out["y"], want)
+		}
+	}
+}
+
+func fmtTap(i int) string { return "x" + string(rune('0'+i)) }

@@ -1,0 +1,299 @@
+// Package gen builds the benchmark circuits of the paper's Table I (or
+// functional stand-ins for the proprietary/ISCAS ones) directly as AIGs,
+// via a small word-level construction API. All generators are parametric
+// in bit-width so experiments can be scaled.
+package gen
+
+import (
+	"fmt"
+
+	"dpals/internal/aig"
+)
+
+// Word is a little-endian vector of literals: w[0] is the LSB.
+type Word []aig.Lit
+
+// Builder wraps a graph with word-level operators.
+type Builder struct {
+	G *aig.Graph
+}
+
+// NewBuilder returns a builder over a fresh graph.
+func NewBuilder(name string) *Builder { return &Builder{G: aig.New(name)} }
+
+// Input declares width primary inputs named name[i] and returns them.
+func (b *Builder) Input(name string, width int) Word {
+	w := make(Word, width)
+	for i := range w {
+		w[i] = b.G.AddPI(fmt.Sprintf("%s[%d]", name, i))
+	}
+	return w
+}
+
+// InputBit declares a single primary input.
+func (b *Builder) InputBit(name string) aig.Lit { return b.G.AddPI(name) }
+
+// Output declares the bits of w as primary outputs named name[i].
+func (b *Builder) Output(name string, w Word) {
+	for i, l := range w {
+		b.G.AddPO(l, fmt.Sprintf("%s[%d]", name, i))
+	}
+}
+
+// OutputBit declares a single primary output.
+func (b *Builder) OutputBit(name string, l aig.Lit) { b.G.AddPO(l, name) }
+
+// Const returns a width-bit constant word.
+func (b *Builder) Const(val uint64, width int) Word {
+	w := make(Word, width)
+	for i := range w {
+		if val>>uint(i)&1 == 1 {
+			w[i] = aig.True
+		} else {
+			w[i] = aig.False
+		}
+	}
+	return w
+}
+
+// Lit helpers ---------------------------------------------------------------
+
+// Not returns the bitwise complement of x.
+func (b *Builder) Not(x Word) Word {
+	y := make(Word, len(x))
+	for i := range x {
+		y[i] = x[i].Not()
+	}
+	return y
+}
+
+// And returns the bitwise AND of equal-width words.
+func (b *Builder) And(x, y Word) Word { return b.zip(x, y, b.G.And) }
+
+// Or returns the bitwise OR of equal-width words.
+func (b *Builder) Or(x, y Word) Word { return b.zip(x, y, b.G.Or) }
+
+// Xor returns the bitwise XOR of equal-width words.
+func (b *Builder) Xor(x, y Word) Word { return b.zip(x, y, b.G.Xor) }
+
+func (b *Builder) zip(x, y Word, f func(a, c aig.Lit) aig.Lit) Word {
+	if len(x) != len(y) {
+		panic("gen: word width mismatch")
+	}
+	z := make(Word, len(x))
+	for i := range x {
+		z[i] = f(x[i], y[i])
+	}
+	return z
+}
+
+// ZeroExtend pads x with zeros to width n (or truncates).
+func (b *Builder) ZeroExtend(x Word, n int) Word {
+	y := make(Word, n)
+	for i := range y {
+		if i < len(x) {
+			y[i] = x[i]
+		} else {
+			y[i] = aig.False
+		}
+	}
+	return y
+}
+
+// SignExtend pads x with its MSB to width n (or truncates).
+func (b *Builder) SignExtend(x Word, n int) Word {
+	y := make(Word, n)
+	for i := range y {
+		switch {
+		case i < len(x):
+			y[i] = x[i]
+		case len(x) > 0:
+			y[i] = x[len(x)-1]
+		default:
+			y[i] = aig.False
+		}
+	}
+	return y
+}
+
+// ShiftLeft returns x << k (constant shift), keeping the width.
+func (b *Builder) ShiftLeft(x Word, k int) Word {
+	y := make(Word, len(x))
+	for i := range y {
+		if i-k >= 0 && i-k < len(x) {
+			y[i] = x[i-k]
+		} else {
+			y[i] = aig.False
+		}
+	}
+	return y
+}
+
+// ShiftRight returns x >> k (constant logical shift), keeping the width.
+func (b *Builder) ShiftRight(x Word, k int) Word {
+	y := make(Word, len(x))
+	for i := range y {
+		if i+k < len(x) {
+			y[i] = x[i+k]
+		} else {
+			y[i] = aig.False
+		}
+	}
+	return y
+}
+
+// ShiftRightArith returns x >> k with sign fill, keeping the width.
+func (b *Builder) ShiftRightArith(x Word, k int) Word {
+	y := make(Word, len(x))
+	msb := aig.False
+	if len(x) > 0 {
+		msb = x[len(x)-1]
+	}
+	for i := range y {
+		if i+k < len(x) {
+			y[i] = x[i+k]
+		} else {
+			y[i] = msb
+		}
+	}
+	return y
+}
+
+// Mux returns sel ? t : e bitwise (equal widths).
+func (b *Builder) Mux(sel aig.Lit, t, e Word) Word {
+	if len(t) != len(e) {
+		panic("gen: mux width mismatch")
+	}
+	z := make(Word, len(t))
+	for i := range t {
+		z[i] = b.G.Mux(sel, t[i], e[i])
+	}
+	return z
+}
+
+// Arithmetic ----------------------------------------------------------------
+
+// AddCarry returns x+y+cin as a same-width sum plus carry-out
+// (ripple-carry; x and y must have equal width).
+func (b *Builder) AddCarry(x, y Word, cin aig.Lit) (Word, aig.Lit) {
+	if len(x) != len(y) {
+		panic("gen: add width mismatch")
+	}
+	sum := make(Word, len(x))
+	c := cin
+	for i := range x {
+		sum[i] = b.G.Xor(b.G.Xor(x[i], y[i]), c)
+		c = b.G.Maj(x[i], y[i], c)
+	}
+	return sum, c
+}
+
+// Add returns x+y with the carry-out appended (width+1 result).
+func (b *Builder) Add(x, y Word) Word {
+	s, c := b.AddCarry(x, y, aig.False)
+	return append(s, c)
+}
+
+// AddTrunc returns (x+y) mod 2^width.
+func (b *Builder) AddTrunc(x, y Word) Word {
+	s, _ := b.AddCarry(x, y, aig.False)
+	return s
+}
+
+// Sub returns x−y (same width) and a borrow-out that is 1 when x < y
+// (unsigned).
+func (b *Builder) Sub(x, y Word) (Word, aig.Lit) {
+	d, c := b.AddCarry(x, b.Not(y), aig.True)
+	return d, c.Not() // carry-out 0 ⇔ borrow
+}
+
+// Neg returns the two's-complement negation of x.
+func (b *Builder) Neg(x Word) Word {
+	z, _ := b.AddCarry(b.Not(x), b.Const(1, len(x)), aig.False)
+	return z
+}
+
+// MulU returns the unsigned product of x and y (width len(x)+len(y)),
+// built as a carry-save array multiplier with a ripple final stage.
+func (b *Builder) MulU(x, y Word) Word {
+	n, m := len(x), len(y)
+	out := make(Word, n+m)
+	for i := range out {
+		out[i] = aig.False
+	}
+	acc := make(Word, 0) // running sum, little-endian from bit i
+	for i := 0; i < m; i++ {
+		// Partial product x * y[i], aligned at bit i.
+		pp := make(Word, n)
+		for j := 0; j < n; j++ {
+			pp[j] = b.G.And(x[j], y[i])
+		}
+		if i == 0 {
+			out[0] = pp[0]
+			acc = pp[1:]
+			continue
+		}
+		// acc (aligned at bit i) + pp.
+		accExt := b.ZeroExtend(acc, n)
+		sum, c := b.AddCarry(accExt, pp, aig.False)
+		out[i] = sum[0]
+		acc = append(Word{}, sum[1:]...)
+		acc = append(acc, c)
+	}
+	for k := range acc {
+		if m+k < len(out) {
+			out[m+k] = acc[k]
+		}
+	}
+	return out
+}
+
+// MulS returns the signed (two's-complement) product of x and y
+// (width len(x)+len(y)), implemented sign-magnitude around the unsigned
+// array: |x|·|y| conditionally negated. The n-bit negation of the most
+// negative value wraps to the correct unsigned magnitude 2^(n−1), so the
+// construction is exact for all inputs.
+func (b *Builder) MulS(x, y Word) Word {
+	sx, sy := x[len(x)-1], y[len(y)-1]
+	ax := b.Mux(sx, b.Neg(x), x)
+	ay := b.Mux(sy, b.Neg(y), y)
+	prod := b.MulU(ax, ay)
+	neg := b.G.Xor(sx, sy)
+	return b.Mux(neg, b.Neg(prod), prod)
+}
+
+// LtU returns 1 iff x < y, unsigned.
+func (b *Builder) LtU(x, y Word) aig.Lit {
+	_, bo := b.Sub(x, y)
+	return bo
+}
+
+// Eq returns 1 iff x == y.
+func (b *Builder) Eq(x, y Word) aig.Lit {
+	if len(x) != len(y) {
+		panic("gen: eq width mismatch")
+	}
+	r := aig.True
+	for i := range x {
+		r = b.G.And(r, b.G.Xnor(x[i], y[i]))
+	}
+	return r
+}
+
+// IsZero returns 1 iff every bit of x is 0.
+func (b *Builder) IsZero(x Word) aig.Lit {
+	r := aig.True
+	for i := range x {
+		r = b.G.And(r, x[i].Not())
+	}
+	return r
+}
+
+// ReduceXor returns the parity of x.
+func (b *Builder) ReduceXor(x Word) aig.Lit {
+	r := aig.False
+	for i := range x {
+		r = b.G.Xor(r, x[i])
+	}
+	return r
+}

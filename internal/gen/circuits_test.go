@@ -1,0 +1,386 @@
+package gen
+
+import (
+	"math"
+	"testing"
+)
+
+func signExtendVal(v uint64, bits int) int64 {
+	if v>>uint(bits-1)&1 == 1 {
+		return int64(v) - int64(1)<<uint(bits)
+	}
+	return int64(v)
+}
+
+func TestAdderExhaustiveSmall(t *testing.T) {
+	g := Adder(4)
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			out := evalOne(t, g, map[string]uint64{"a": a, "b": b})
+			if out["s"] != a+b {
+				t.Fatalf("adder(%d,%d) = %d, want %d", a, b, out["s"], a+b)
+			}
+		}
+	}
+}
+
+func TestAdderRandomWide(t *testing.T) {
+	g := Adder(48)
+	r := rng(99)
+	for i := 0; i < 200; i++ {
+		a, b := r.bits(48), r.bits(48)
+		out := evalOne(t, g, map[string]uint64{"a": a, "b": b})
+		if out["s"] != a+b {
+			t.Fatalf("adder48(%d,%d) = %d, want %d", a, b, out["s"], a+b)
+		}
+	}
+}
+
+func TestMultUExhaustive(t *testing.T) {
+	g := MultU(5, 4)
+	for a := uint64(0); a < 32; a++ {
+		for b := uint64(0); b < 16; b++ {
+			out := evalOne(t, g, map[string]uint64{"a": a, "b": b})
+			if out["p"] != a*b {
+				t.Fatalf("multu(%d,%d) = %d, want %d", a, b, out["p"], a*b)
+			}
+		}
+	}
+}
+
+func TestMultSExhaustive(t *testing.T) {
+	g := MultS(5, 4)
+	for a := uint64(0); a < 32; a++ {
+		for b := uint64(0); b < 16; b++ {
+			sa, sb := signExtendVal(a, 5), signExtendVal(b, 4)
+			want := uint64(sa*sb) & (1<<9 - 1)
+			out := evalOne(t, g, map[string]uint64{"a": a, "b": b})
+			if out["p"] != want {
+				t.Fatalf("mults(%d,%d) = %d, want %d (signed %d*%d)", a, b, out["p"], want, sa, sb)
+			}
+		}
+	}
+}
+
+func TestSquareExhaustive(t *testing.T) {
+	g := Square(6)
+	for a := uint64(0); a < 64; a++ {
+		out := evalOne(t, g, map[string]uint64{"a": a})
+		if out["q"] != a*a {
+			t.Fatalf("square(%d) = %d, want %d", a, out["q"], a*a)
+		}
+	}
+}
+
+func TestSqrtExhaustive(t *testing.T) {
+	g := Sqrt(10)
+	for a := uint64(0); a < 1024; a++ {
+		want := uint64(math.Sqrt(float64(a)))
+		for want*want > a {
+			want--
+		}
+		for (want+1)*(want+1) <= a {
+			want++
+		}
+		out := evalOne(t, g, map[string]uint64{"a": a})
+		if out["r"] != want {
+			t.Fatalf("sqrt(%d) = %d, want %d", a, out["r"], want)
+		}
+	}
+}
+
+func TestALUExhaustive(t *testing.T) {
+	g := ALU(4)
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			for op := uint64(0); op < 8; op++ {
+				for cin := uint64(0); cin < 2; cin++ {
+					out := evalOne(t, g, map[string]uint64{"a": a, "b": b, "op": op, "cin": cin})
+					var want uint64
+					switch op {
+					case 0:
+						want = (a + b + cin) & 15
+					case 1:
+						want = (a - b) & 15
+					case 2:
+						want = a & b
+					case 3:
+						want = a | b
+					case 4:
+						want = a ^ b
+					case 5:
+						want = (a << 1) & 15
+					case 6:
+						want = a >> 1
+					case 7:
+						want = b
+					}
+					if out["y"] != want {
+						t.Fatalf("alu op=%d a=%d b=%d cin=%d: y=%d want %d", op, a, b, cin, out["y"], want)
+					}
+					if op == 0 {
+						if got := out["cout"]; got != (a+b+cin)>>4 {
+							t.Fatalf("alu add cout=%d a=%d b=%d cin=%d", got, a, b, cin)
+						}
+					}
+					if op == 1 {
+						wantB := uint64(0)
+						if a < b {
+							wantB = 1
+						}
+						if out["cout"] != wantB {
+							t.Fatalf("alu sub borrow=%d a=%d b=%d", out["cout"], a, b)
+						}
+					}
+					wantZero := uint64(0)
+					if want == 0 {
+						wantZero = 1
+					}
+					if out["zero"] != wantZero {
+						t.Fatalf("alu zero flag wrong: op=%d a=%d b=%d", op, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestALUXSpot(t *testing.T) {
+	g := ALUX(8)
+	r := rng(7)
+	for i := 0; i < 400; i++ {
+		a, b := r.bits(8), r.bits(8)
+		op := r.bits(3)
+		out := evalOne(t, g, map[string]uint64{"a": a, "b": b, "op": op})
+		var want uint64
+		switch op {
+		case 0:
+			want = (a + b) & 255
+		case 1:
+			want = (a - b) & 255
+		case 2:
+			want = (a & 15) * (b & 15)
+		case 3:
+			want = ((a & b) + (a ^ b)) & 255
+		case 4: // majority of a[i], b[i], a[i+1 mod 8]
+			want = 0
+			for k := 0; k < 8; k++ {
+				x := a >> uint(k) & 1
+				y := b >> uint(k) & 1
+				z := a >> uint((k+1)%8) & 1
+				if x+y+z >= 2 {
+					want |= 1 << uint(k)
+				}
+			}
+		case 5: // rotate left 1
+			want = ((a << 1) | (a >> 7)) & 255
+		case 6:
+			want = ^(a & b) & 255
+		case 7:
+			want = ^(a ^ b) & 255
+		}
+		if out["y"] != want {
+			t.Fatalf("alux op=%d a=%d b=%d: y=%d want %d", op, a, b, out["y"], want)
+		}
+		// Flags.
+		wantLt := uint64(0)
+		if a < b {
+			wantLt = 1
+		}
+		if out["ltu"] != wantLt {
+			t.Fatalf("alux ltu wrong: a=%d b=%d", a, b)
+		}
+	}
+}
+
+// hammingCheckBits computes the check bits the Detector circuit expects for
+// a data word, by the same position convention.
+func hammingCheckBits(n, k int, data uint64) (check uint64, overall uint64) {
+	positions := make([]int, 0, n)
+	for pos := 1; len(positions) < n; pos++ {
+		if pos&(pos-1) != 0 {
+			positions = append(positions, pos)
+		}
+	}
+	for bit := 0; bit < k; bit++ {
+		x := uint64(0)
+		for i, pos := range positions {
+			if pos>>uint(bit)&1 == 1 {
+				x ^= data >> uint(i) & 1
+			}
+		}
+		check |= x << uint(bit)
+	}
+	// Overall parity of data+check so that the circuit's total is even.
+	p := uint64(0)
+	for i := 0; i < n; i++ {
+		p ^= data >> uint(i) & 1
+	}
+	for i := 0; i < k; i++ {
+		p ^= check >> uint(i) & 1
+	}
+	return check, p
+}
+
+func TestDetectorSECDED(t *testing.T) {
+	n, k := 16, 5
+	g := Detector(n)
+	if g.NumPIs() != n+k+1 {
+		t.Fatalf("detector PI count = %d, want %d", g.NumPIs(), n+k+1)
+	}
+	r := rng(13)
+	for trial := 0; trial < 100; trial++ {
+		data := r.bits(n)
+		check, p := hammingCheckBits(n, k, data)
+		// Clean word: no errors, corrected output equals data.
+		out := evalOne(t, g, map[string]uint64{"d": data, "c": check, "p": p})
+		if out["serr"] != 0 || out["derr"] != 0 || out["q"] != data {
+			t.Fatalf("clean word flagged: serr=%d derr=%d q=%x data=%x", out["serr"], out["derr"], out["q"], data)
+		}
+		// Single data-bit error: must be corrected.
+		flip := int(r.bits(4)) % n
+		bad := data ^ 1<<uint(flip)
+		out = evalOne(t, g, map[string]uint64{"d": bad, "c": check, "p": p})
+		if out["serr"] != 1 || out["q"] != data {
+			t.Fatalf("single error not corrected: q=%x data=%x serr=%d", out["q"], data, out["serr"])
+		}
+		// Double error: must be flagged, not correctable.
+		f2 := (flip + 1 + int(r.bits(3))%(n-1)) % n
+		bad2 := bad ^ 1<<uint(f2)
+		out = evalOne(t, g, map[string]uint64{"d": bad2, "c": check, "p": p})
+		if out["derr"] != 1 {
+			t.Fatalf("double error not flagged (flips %d,%d)", flip, f2)
+		}
+	}
+}
+
+func TestVecMulRandom(t *testing.T) {
+	g := VecMul(3, 5)
+	r := rng(21)
+	for i := 0; i < 200; i++ {
+		ins := map[string]uint64{}
+		want := uint64(0)
+		for d := 0; d < 3; d++ {
+			x, y := r.bits(5), r.bits(5)
+			ins["x"+string(rune('0'+d))] = x
+			ins["y"+string(rune('0'+d))] = y
+			want += x * y
+		}
+		out := evalOne(t, g, ins)
+		if out["s"] != want {
+			t.Fatalf("vecmul = %d, want %d", out["s"], want)
+		}
+	}
+}
+
+func TestButterflyRandom(t *testing.T) {
+	w := 6
+	g := Butterfly(w)
+	r := rng(31)
+	mask := uint64(1)<<uint(2*w+1) - 1
+	for i := 0; i < 200; i++ {
+		ar, ai := r.bits(w), r.bits(w)
+		br, bi := r.bits(w), r.bits(w)
+		tr, ti := r.bits(w), r.bits(w)
+		sar, sai := signExtendVal(ar, w), signExtendVal(ai, w)
+		sbr, sbi := signExtendVal(br, w), signExtendVal(bi, w)
+		str, sti := signExtendVal(tr, w), signExtendVal(ti, w)
+		pr := sbr*str - sbi*sti
+		pi := sbr*sti + sbi*str
+		want0r := uint64(sar+pr) & mask
+		want0i := uint64(sai+pi) & mask
+		want1r := uint64(sar-pr) & mask
+		want1i := uint64(sai-pi) & mask
+		out := evalOne(t, g, map[string]uint64{"ar": ar, "ai": ai, "br": br, "bi": bi, "tr": tr, "ti": ti})
+		if out["o0r"] != want0r || out["o0i"] != want0i || out["o1r"] != want1r || out["o1i"] != want1i {
+			t.Fatalf("butterfly mismatch at trial %d", i)
+		}
+	}
+}
+
+func TestSinApproximation(t *testing.T) {
+	w := 10
+	g := Sin(w)
+	scale := float64(uint64(1) << uint(w))
+	worst := 0.0
+	for a := uint64(0); a < 1<<uint(w); a += 7 {
+		angle := float64(a) / scale * math.Pi / 2
+		want := math.Sin(angle)
+		out := evalOne(t, g, map[string]uint64{"a": a})
+		got := float64(out["s"]) / scale
+		if d := math.Abs(got - want); d > worst {
+			worst = d
+		}
+	}
+	// CORDIC with w iterations and truncation: allow a few LSBs.
+	if worst > 8/scale {
+		t.Fatalf("sin worst-case error %v exceeds 8 LSB (%v)", worst, 8/scale)
+	}
+}
+
+func TestLog2Approximation(t *testing.T) {
+	n, f := 10, 6
+	g := Log2(n, f)
+	worst := 0.0
+	for a := uint64(1); a < 1<<uint(n); a += 3 {
+		want := math.Log2(float64(a))
+		out := evalOne(t, g, map[string]uint64{"a": a})
+		got := float64(out["i"]) + float64(out["f"])/float64(uint64(1)<<uint(f))
+		if d := math.Abs(got - want); d > worst {
+			worst = d
+		}
+	}
+	if worst > 2.5/float64(uint64(1)<<uint(f)) {
+		t.Fatalf("log2 worst-case error %v exceeds tolerance", worst)
+	}
+}
+
+func TestParityComparatorMAC(t *testing.T) {
+	p := Parity(9)
+	r := rng(41)
+	for i := 0; i < 100; i++ {
+		a := r.bits(9)
+		want := uint64(0)
+		for k := 0; k < 9; k++ {
+			want ^= a >> uint(k) & 1
+		}
+		if out := evalOne(t, p, map[string]uint64{"a": a}); out["p"] != want {
+			t.Fatalf("parity(%b) = %d", a, out["p"])
+		}
+	}
+	c := Comparator(6)
+	for i := 0; i < 100; i++ {
+		a, b := r.bits(6), r.bits(6)
+		out := evalOne(t, c, map[string]uint64{"a": a, "b": b})
+		if (out["lt"] == 1) != (a < b) || (out["eq"] == 1) != (a == b) || (out["gt"] == 1) != (a > b) {
+			t.Fatalf("comparator(%d,%d) = %v", a, b, out)
+		}
+	}
+	m := MAC(5)
+	for i := 0; i < 100; i++ {
+		a, b, cc := r.bits(5), r.bits(5), r.bits(10)
+		out := evalOne(t, m, map[string]uint64{"a": a, "b": b, "c": cc})
+		if out["s"] != a*b+cc {
+			t.Fatalf("mac(%d,%d,%d) = %d, want %d", a, b, cc, out["s"], a*b+cc)
+		}
+	}
+}
+
+func TestSuiteBuilds(t *testing.T) {
+	for _, b := range Suite(true) {
+		if err := b.Graph.Check(); err != nil {
+			t.Errorf("%s: %v", b.PaperName, err)
+		}
+		if b.Graph.NumAnds() == 0 {
+			t.Errorf("%s: empty circuit", b.PaperName)
+		}
+		if b.Weights != nil && len(b.Weights) != b.Graph.NumPOs() {
+			t.Errorf("%s: weights length %d vs %d POs", b.PaperName, len(b.Weights), b.Graph.NumPOs())
+		}
+		t.Logf("%-10s %4d PIs %4d POs %6d ANDs depth %d", b.PaperName,
+			b.Graph.NumPIs(), b.Graph.NumPOs(), b.Graph.NumAnds(), b.Graph.Depth())
+	}
+}

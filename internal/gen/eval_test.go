@@ -1,0 +1,65 @@
+package gen
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"dpals/internal/aig"
+)
+
+// evalOne evaluates a generated circuit on one input assignment given as
+// word values keyed by input name (multi-bit inputs named name[i] take the
+// bit i of the value; single-bit inputs take bit 0). It returns the output
+// words assembled the same way.
+func evalOne(t *testing.T, g *aig.Graph, ins map[string]uint64) map[string]uint64 {
+	t.Helper()
+	val := make([]bool, g.NumVars())
+	for i, v := range g.PIs() {
+		name, bit := splitName(g.PIName(i))
+		w, ok := ins[name]
+		if !ok {
+			t.Fatalf("missing input %q", name)
+		}
+		val[v] = w>>uint(bit)&1 == 1
+	}
+	litVal := func(l aig.Lit) bool { return val[l.Var()] != l.IsCompl() }
+	for _, v := range g.Topo() {
+		if g.Type(v) != aig.TypeAnd {
+			continue
+		}
+		f0, f1 := g.Fanins(v)
+		val[v] = litVal(f0) && litVal(f1)
+	}
+	out := map[string]uint64{}
+	for i, po := range g.POs() {
+		name, bit := splitName(g.POName(i))
+		if litVal(po) {
+			out[name] |= 1 << uint(bit)
+		}
+	}
+	return out
+}
+
+func splitName(s string) (string, int) {
+	if i := strings.IndexByte(s, '['); i >= 0 {
+		n, _ := strconv.Atoi(strings.TrimSuffix(s[i+1:], "]"))
+		return s[:i], n
+	}
+	return s, 0
+}
+
+// rng is a tiny deterministic generator (xorshift) so the tests do not
+// depend on math/rand ordering.
+type rng uint64
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = rng(x)
+	return x
+}
+
+func (r *rng) bits(n int) uint64 { return r.next() & (1<<uint(n) - 1) }

@@ -1,0 +1,350 @@
+// Package lac generates and evaluates local approximate changes (LACs).
+// Two LAC families are supported, matching the paper's experiments:
+//
+//   - constant LACs: replace a node by constant 0 or 1;
+//   - SASIMI LACs [13]: replace a node by another existing signal, possibly
+//     complemented ("substitute and simplify").
+//
+// Every LAC has a single-output affected region whose output is the target
+// node (§III-A), so applying one is exactly aig.Graph.ReplaceWithLit.
+// Candidate errors are evaluated in batch against the CPM (package cpm)
+// and the metric state (package metric); with a single LAC per iteration
+// the estimate is exact w.r.t. the sampled patterns.
+package lac
+
+import (
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+
+	"dpals/internal/aig"
+	"dpals/internal/bitvec"
+	"dpals/internal/cpm"
+	"dpals/internal/metric"
+	"dpals/internal/sim"
+)
+
+// LAC is one candidate local approximate change: replace Target by NewLit.
+type LAC struct {
+	Target int32
+	NewLit aig.Lit
+	Gain   int // estimated AND nodes saved (MFFC of the target)
+}
+
+// IsConst reports whether the LAC replaces its target by a constant.
+func (l LAC) IsConst() bool { return l.NewLit.Var() == 0 }
+
+// DiffMask writes into dst the patterns under which the target's value
+// changes when the LAC is applied: val(target) ⊕ val(NewLit).
+func (l LAC) DiffMask(s *sim.Sim, dst bitvec.Vec) {
+	tv := s.Val(l.Target)
+	nv := s.Val(l.NewLit.Var())
+	if l.NewLit.IsCompl() {
+		for i := range dst {
+			dst[i] = tv[i] ^ ^nv[i]
+		}
+		dst.Mask(s.Patterns())
+	} else {
+		dst.Xor(tv, nv)
+	}
+}
+
+// Options configures candidate generation.
+type Options struct {
+	Constants bool // generate constant-0/1 LACs
+	SASIMI    bool // generate signal-substitution LACs
+	// MaxPerNode bounds the number of SASIMI substitution candidates per
+	// target node. The paper's third self-adaption knob ("reduce the number
+	// of LACs for each target node") lowers this value when step 3
+	// dominates the runtime. Default 8.
+	MaxPerNode int
+	// SampleWords bounds the number of 64-bit words used for the
+	// similarity ranking scan (the exact diff mask is still computed over
+	// all patterns during evaluation). Default 8 (512 patterns).
+	SampleWords int
+	// WindowSize is the half-width of the popcount-sorted neighbourhood
+	// scanned for similar signals. Default 32.
+	WindowSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPerNode <= 0 {
+		o.MaxPerNode = 8
+	}
+	if o.SampleWords <= 0 {
+		o.SampleWords = 8
+	}
+	if o.WindowSize <= 0 {
+		o.WindowSize = 32
+	}
+	return o
+}
+
+// Generator produces candidate LACs for target nodes of one graph.
+// The SASIMI similarity index must be refreshed (Reindex) after the
+// simulation values change; flows refresh it once per iteration.
+type Generator struct {
+	g   *aig.Graph
+	s   *sim.Sim
+	opt Options
+
+	// popcount-sorted signal index for SASIMI similarity search
+	signals []int32 // PIs and live AND nodes, sorted by sampled popcount
+	pops    []int   // parallel: sampled popcount
+	rank    map[int32]int
+}
+
+// NewGenerator builds a generator and its signal index.
+func NewGenerator(g *aig.Graph, s *sim.Sim, opt Options) *Generator {
+	gen := &Generator{g: g, s: s, opt: opt.withDefaults()}
+	gen.Reindex()
+	return gen
+}
+
+// MaxPerNode returns the current SASIMI candidate bound per target.
+func (gen *Generator) MaxPerNode() int { return gen.opt.MaxPerNode }
+
+// SetMaxPerNode adjusts the SASIMI candidate bound per target (the paper's
+// third self-adaption knob). Values below 1 are clamped to 1.
+func (gen *Generator) SetMaxPerNode(n int) {
+	if n < 1 {
+		n = 1
+	}
+	gen.opt.MaxPerNode = n
+}
+
+// Reindex rebuilds the similarity index from the current simulation values.
+// Cheap (one popcount per signal); call after every applied LAC or once per
+// iteration.
+func (gen *Generator) Reindex() {
+	if !gen.opt.SASIMI {
+		return
+	}
+	g := gen.g
+	gen.signals = gen.signals[:0]
+	for _, v := range g.PIs() {
+		gen.signals = append(gen.signals, v)
+	}
+	for _, v := range g.Topo() {
+		if g.IsAnd(v) {
+			gen.signals = append(gen.signals, v)
+		}
+	}
+	sw := gen.sampleWords()
+	gen.pops = gen.pops[:0]
+	for _, v := range gen.signals {
+		gen.pops = append(gen.pops, samplePop(gen.s.Val(v), sw))
+	}
+	idx := make([]int, len(gen.signals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return gen.pops[idx[a]] < gen.pops[idx[b]] })
+	sigs := make([]int32, len(idx))
+	pops := make([]int, len(idx))
+	gen.rank = make(map[int32]int, len(idx))
+	for i, j := range idx {
+		sigs[i] = gen.signals[j]
+		pops[i] = gen.pops[j]
+		gen.rank[sigs[i]] = i
+	}
+	gen.signals, gen.pops = sigs, pops
+}
+
+func (gen *Generator) sampleWords() int {
+	sw := gen.opt.SampleWords
+	if sw > gen.s.Words() {
+		sw = gen.s.Words()
+	}
+	return sw
+}
+
+func samplePop(v bitvec.Vec, words int) int {
+	n := 0
+	for i := 0; i < words; i++ {
+		n += popcount(v[i])
+	}
+	return n
+}
+
+func popcount(x uint64) int { return bits.OnesCount64(x) }
+
+// CandidatesFor returns the candidate LACs targeting node v. The target's
+// MFFC size is attached as the gain of every candidate.
+func (gen *Generator) CandidatesFor(v int32) []LAC {
+	g := gen.g
+	if !g.IsAnd(v) {
+		return nil
+	}
+	gain := g.MFFCSize(v)
+	var out []LAC
+	if gen.opt.Constants {
+		out = append(out,
+			LAC{Target: v, NewLit: aig.False, Gain: gain},
+			LAC{Target: v, NewLit: aig.True, Gain: gain},
+		)
+	}
+	if gen.opt.SASIMI {
+		out = append(out, gen.sasimiFor(v, gain)...)
+	}
+	return out
+}
+
+// sasimiFor scans the popcount-sorted neighbourhood of v for the most
+// similar signals (direct or complemented) outside v's transitive fanout.
+func (gen *Generator) sasimiFor(v int32, gain int) []LAC {
+	g := gen.g
+	s := gen.s
+	sw := gen.sampleWords()
+	sampleBits := sw * 64
+	if p := s.Patterns(); sampleBits > p {
+		sampleBits = p
+	}
+
+	// Forbidden set: v itself and its TFO cone (substitution would create
+	// a cycle).
+	forbidden := map[int32]bool{}
+	for _, u := range g.TFOCone([]int32{v}) {
+		forbidden[u] = true
+	}
+
+	r, ok := gen.rank[v]
+	if !ok {
+		return nil
+	}
+	type scored struct {
+		node  int32
+		compl bool
+		dist  int
+	}
+	var cands []scored
+	vv := s.Val(v)
+	consider := func(i int) {
+		if i < 0 || i >= len(gen.signals) {
+			return
+		}
+		u := gen.signals[i]
+		if u == v || forbidden[u] || g.IsDead(u) {
+			return
+		}
+		d := 0
+		uv := s.Val(u)
+		for w := 0; w < sw; w++ {
+			d += popcount(vv[w] ^ uv[w])
+		}
+		if d <= sampleBits-d {
+			cands = append(cands, scored{u, false, d})
+		} else {
+			cands = append(cands, scored{u, true, sampleBits - d})
+		}
+	}
+	// Same-polarity neighbourhood: similar popcount.
+	for off := 1; off <= gen.opt.WindowSize; off++ {
+		consider(r - off)
+		consider(r + off)
+	}
+	// Complemented candidates live near popcount  (sampleBits - pop(v)):
+	// scan that neighbourhood too.
+	cpop := sampleBits - gen.pops[r]
+	ci := sort.SearchInts(gen.pops, cpop)
+	for off := 0; off <= gen.opt.WindowSize; off++ {
+		consider(ci - off - 1)
+		consider(ci + off)
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+	var out []LAC
+	seen := map[int32]bool{}
+	for _, c := range cands {
+		if seen[c.node] {
+			continue
+		}
+		seen[c.node] = true
+		out = append(out, LAC{Target: v, NewLit: aig.MakeLit(c.node, c.compl), Gain: gain})
+		if len(out) >= gen.opt.MaxPerNode {
+			break
+		}
+	}
+	return out
+}
+
+// Eval is the evaluated error of one candidate LAC.
+type Eval struct {
+	LAC
+	Err float64 // error of the circuit after applying the LAC (estimated, exact w.r.t. samples)
+}
+
+// NodeBest summarises the best LAC of one target node: the paper's E(n) is
+// Best.Err − currentError.
+type NodeBest struct {
+	Node int32
+	Best Eval
+	N    int // number of candidates evaluated
+}
+
+// EvaluateTargets evaluates every candidate LAC for every target that has a
+// CPM row and returns per-node bests, sorted by ascending error (ties:
+// larger gain first). Candidate generation runs serially (it walks shared
+// graph traversal state); evaluation fans out over `threads` workers.
+func EvaluateTargets(gen *Generator, res *cpm.Result, st *metric.State, targets []int32, threads int) []NodeBest {
+	if threads <= 0 {
+		threads = 1
+	}
+	if threads > runtime.GOMAXPROCS(0) {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	cands := make([][]LAC, len(targets))
+	for i, v := range targets {
+		if res.Has(v) {
+			cands[i] = gen.CandidatesFor(v)
+		}
+	}
+	out := make([]NodeBest, len(targets))
+	var wg sync.WaitGroup
+	next := make(chan int, len(targets))
+	for i := range targets {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev := st.NewEvaluator()
+			D := bitvec.NewWords(gen.s.Words())
+			for i := range next {
+				v := targets[i]
+				nb := NodeBest{Node: v, Best: Eval{Err: -1}}
+				row := res.Row(v)
+				for _, cand := range cands[i] {
+					cand.DiffMask(gen.s, D)
+					e := ev.EvalLAC(D, row)
+					nb.N++
+					if nb.Best.Err < 0 || e < nb.Best.Err ||
+						(e == nb.Best.Err && cand.Gain > nb.Best.Gain) {
+						nb.Best = Eval{LAC: cand, Err: e}
+					}
+				}
+				out[i] = nb
+			}
+		}()
+	}
+	wg.Wait()
+	// Drop targets with no evaluated candidate, sort by error.
+	kept := out[:0]
+	for _, nb := range out {
+		if nb.N > 0 {
+			kept = append(kept, nb)
+		}
+	}
+	sort.Slice(kept, func(a, b int) bool {
+		if kept[a].Best.Err != kept[b].Best.Err {
+			return kept[a].Best.Err < kept[b].Best.Err
+		}
+		if kept[a].Best.Gain != kept[b].Best.Gain {
+			return kept[a].Best.Gain > kept[b].Best.Gain
+		}
+		return kept[a].Node < kept[b].Node
+	})
+	return kept
+}

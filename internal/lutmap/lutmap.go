@@ -1,0 +1,246 @@
+// Package lutmap implements K-feasible cut enumeration and LUT covering —
+// an FPGA-style alternative quality model to the standard-cell mapper in
+// package techmap. ALS results are often reported in LUT counts; this
+// mapper provides that view with a classic depth-then-area-flow heuristic
+// (priority cuts).
+package lutmap
+
+import (
+	"fmt"
+	"sort"
+
+	"dpals/internal/aig"
+)
+
+// Options configures the mapper.
+type Options struct {
+	K       int // LUT input count (default 6)
+	MaxCuts int // priority cuts kept per node (default 8)
+}
+
+func (o Options) withDefaults() Options {
+	if o.K <= 1 {
+		o.K = 6
+	}
+	if o.MaxCuts <= 0 {
+		o.MaxCuts = 8
+	}
+	return o
+}
+
+// Result summarises a covering.
+type Result struct {
+	LUTs  int
+	Depth int
+	// Roots lists the nodes implemented as LUT outputs, each with its
+	// chosen leaf set.
+	Roots map[int32][]int32
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("luts=%d depth=%d", r.LUTs, r.Depth)
+}
+
+type cut struct {
+	leaves []int32 // sorted variable ids
+	arr    int32   // arrival time (LUT levels)
+	flow   float64 // area flow
+}
+
+// dominates reports whether c's leaves are a subset of d's.
+func dominates(c, d *cut) bool {
+	if len(c.leaves) > len(d.leaves) {
+		return false
+	}
+	i := 0
+	for _, l := range d.leaves {
+		if i < len(c.leaves) && c.leaves[i] == l {
+			i++
+		}
+	}
+	return i == len(c.leaves)
+}
+
+// mergeLeaves unions two sorted leaf sets, failing when the result exceeds k.
+func mergeLeaves(a, b []int32, k int) ([]int32, bool) {
+	out := make([]int32, 0, k)
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var next int32
+		switch {
+		case i == len(a):
+			next = b[j]
+			j++
+		case j == len(b):
+			next = a[i]
+			i++
+		case a[i] == b[j]:
+			next = a[i]
+			i++
+			j++
+		case a[i] < b[j]:
+			next = a[i]
+			i++
+		default:
+			next = b[j]
+			j++
+		}
+		if len(out) == k {
+			return nil, false
+		}
+		out = append(out, next)
+	}
+	return out, true
+}
+
+// Map covers g (swept) with K-input LUTs and returns the covering.
+func Map(g *aig.Graph, opt Options) Result {
+	opt = opt.withDefaults()
+	g = g.Sweep()
+
+	cuts := make([][]cut, g.NumVars())
+	bestArr := make([]int32, g.NumVars())
+	bestFlow := make([]float64, g.NumVars())
+	refs := make([]float64, g.NumVars()) // fanout estimate for area flow
+
+	for _, v := range g.Topo() {
+		n := float64(g.NumFanouts(v))
+		for _, po := range g.POs() {
+			if po.Var() == v {
+				n++
+			}
+		}
+		if n < 1 {
+			n = 1
+		}
+		refs[v] = n
+	}
+
+	for _, v := range g.Topo() {
+		if g.Type(v) != aig.TypeAnd {
+			cuts[v] = []cut{{leaves: []int32{v}}}
+			continue
+		}
+		f0, f1 := g.Fanins(v)
+		var cand []cut
+		for _, c0 := range cuts[f0.Var()] {
+			for _, c1 := range cuts[f1.Var()] {
+				leaves, ok := mergeLeaves(c0.leaves, c1.leaves, opt.K)
+				if !ok {
+					continue
+				}
+				var arr int32
+				var flow float64
+				for _, l := range leaves {
+					if bestArr[l] > arr {
+						arr = bestArr[l]
+					}
+					flow += bestFlow[l]
+				}
+				cand = append(cand, cut{leaves: leaves, arr: arr + 1, flow: (flow + 1) / refs[v]})
+			}
+		}
+		// Prune: sort by (arrival, flow, size), drop dominated, keep MaxCuts.
+		sort.Slice(cand, func(i, j int) bool {
+			if cand[i].arr != cand[j].arr {
+				return cand[i].arr < cand[j].arr
+			}
+			if cand[i].flow != cand[j].flow {
+				return cand[i].flow < cand[j].flow
+			}
+			return len(cand[i].leaves) < len(cand[j].leaves)
+		})
+		var kept []cut
+		for i := range cand {
+			dom := false
+			for k := range kept {
+				if dominates(&kept[k], &cand[i]) {
+					dom = true
+					break
+				}
+			}
+			if !dom {
+				kept = append(kept, cand[i])
+				if len(kept) == opt.MaxCuts {
+					break
+				}
+			}
+		}
+		// The fanin cut keeps deep structures coverable.
+		kept = append(kept, cut{leaves: sortedPair(f0.Var(), f1.Var()), arr: maxArr(bestArr, f0.Var(), f1.Var()) + 1,
+			flow: (bestFlow[f0.Var()] + bestFlow[f1.Var()] + 1) / refs[v]})
+		bestArr[v] = kept[0].arr
+		bestFlow[v] = kept[0].flow
+		// The trivial self-cut lets parents use v as a leaf. It is placed
+		// last so the covering (which takes cuts[v][0]) never selects it.
+		kept = append(kept, cut{leaves: []int32{v}, arr: bestArr[v], flow: bestFlow[v]})
+		cuts[v] = kept
+	}
+
+	// Backward covering from the POs.
+	res := Result{Roots: map[int32][]int32{}}
+	var need []int32
+	seen := map[int32]bool{}
+	for _, po := range g.POs() {
+		v := po.Var()
+		if g.Type(v) == aig.TypeAnd && !seen[v] {
+			seen[v] = true
+			need = append(need, v)
+		}
+	}
+	for len(need) > 0 {
+		v := need[len(need)-1]
+		need = need[:len(need)-1]
+		best := cuts[v][0]
+		res.Roots[v] = best.leaves
+		for _, l := range best.leaves {
+			if g.Type(l) == aig.TypeAnd && !seen[l] {
+				seen[l] = true
+				need = append(need, l)
+			}
+		}
+	}
+	res.LUTs = len(res.Roots)
+	// Depth of the cover: LUT levels along chosen cuts.
+	depth := map[int32]int{}
+	var depthOf func(v int32) int
+	depthOf = func(v int32) int {
+		if g.Type(v) != aig.TypeAnd {
+			return 0
+		}
+		if d, ok := depth[v]; ok {
+			return d
+		}
+		d := 0
+		for _, l := range res.Roots[v] {
+			if dl := depthOf(l); dl > d {
+				d = dl
+			}
+		}
+		depth[v] = d + 1
+		return d + 1
+	}
+	for _, po := range g.POs() {
+		if d := depthOf(po.Var()); d > res.Depth {
+			res.Depth = d
+		}
+	}
+	return res
+}
+
+func sortedPair(a, b int32) []int32 {
+	if a == b {
+		return []int32{a}
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return []int32{a, b}
+}
+
+func maxArr(arr []int32, a, b int32) int32 {
+	if arr[a] > arr[b] {
+		return arr[a]
+	}
+	return arr[b]
+}

@@ -1,0 +1,375 @@
+// Package metric implements the statistical error metrics of the paper —
+// error rate (ER), mean squared error (MSE) and mean error distance (MED) —
+// over a set of simulated input patterns.
+//
+// A State tracks, per pattern, the deviation of the current approximate
+// circuit from the exact reference: a signed numeric deviation for MSE/MED
+// and a PO-mismatch count for ER. Candidate LACs are evaluated without
+// touching the circuit: given the LAC's value-change mask D and the
+// target's CPM row, the new error is folded from only the flipped
+// (pattern, PO) pairs, which makes a single-LAC estimate exact with respect
+// to the sampled patterns — the property the dual-phase framework relies
+// on (papers [19], [20]).
+package metric
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"dpals/internal/bitvec"
+	"dpals/internal/cpm"
+)
+
+// Kind selects the error metric.
+type Kind int
+
+// Supported metrics.
+const (
+	ER  Kind = iota // error rate: fraction of patterns with any wrong output
+	MSE             // mean squared numeric error
+	MED             // mean absolute numeric error (error distance)
+	MHD             // mean Hamming distance: average number of wrong output bits
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ER:
+		return "ER"
+	case MSE:
+		return "MSE"
+	case MED:
+		return "MED"
+	case MHD:
+		return "MHD"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Numeric reports whether the metric interprets outputs as a weighted
+// number (and therefore requires Weights).
+func (k Kind) Numeric() bool { return k == MSE || k == MED }
+
+// Weights assigns a numeric weight to each primary output for MSE/MED.
+// ER ignores weights.
+type Weights []float64
+
+// UnsignedWeights interprets n outputs as an unsigned binary number,
+// LSB first: weight of output i is 2^i.
+func UnsignedWeights(n int) Weights {
+	w := make(Weights, n)
+	for i := range w {
+		w[i] = math.Ldexp(1, i)
+	}
+	return w
+}
+
+// TwosComplementWeights interprets n outputs as a two's-complement number,
+// LSB first: the MSB carries weight −2^(n−1).
+func TwosComplementWeights(n int) Weights {
+	w := UnsignedWeights(n)
+	if n > 0 {
+		w[n-1] = -w[n-1]
+	}
+	return w
+}
+
+// ReferenceError returns the paper's reference error R = 2^(K/3) for a
+// circuit with K outputs; MED thresholds are multiples of R and MSE
+// thresholds multiples of R².
+func ReferenceError(k int) float64 { return math.Pow(2, float64(k)/3) }
+
+// State tracks the error of an evolving approximate circuit against a fixed
+// exact reference.
+type State struct {
+	kind     Kind
+	weights  Weights
+	patterns int
+	words    int
+
+	exact []bitvec.Vec // reference PO words
+	cur   []bitvec.Vec // current approximate PO words
+
+	dev  []float64 // per pattern: approx − exact (MSE/MED)
+	mism []int32   // per pattern: number of mismatching POs (ER/MHD)
+
+	errSum   float64 // MSE: Σ dev²; MED: Σ |dev|
+	errCount int     // ER: patterns with ≥1 mismatching PO
+	mismSum  int64   // MHD: Σ mism
+
+	def *Evaluator // lazily created default evaluator for EvalLAC
+}
+
+// Evaluator holds per-worker scratch for candidate evaluation. Multiple
+// evaluators over one State may run concurrently as long as the State is
+// not mutated (no CommitPO) during evaluation.
+type Evaluator struct {
+	st      *State
+	delta   []float64
+	dMism   []int32
+	touched []int32
+	onStack []bool
+}
+
+// NewEvaluator returns an independent evaluation scratch for this state.
+func (st *State) NewEvaluator() *Evaluator {
+	return &Evaluator{
+		st:      st,
+		delta:   make([]float64, st.patterns),
+		dMism:   make([]int32, st.patterns),
+		onStack: make([]bool, st.patterns),
+	}
+}
+
+// NewState builds the tracking state. exact are the reference PO value
+// vectors (one per PO, in PO order); the approximate circuit is assumed to
+// start identical to the reference. weights may be nil for ER.
+func NewState(kind Kind, exact []bitvec.Vec, weights Weights, patterns int) *State {
+	if kind.Numeric() && len(weights) != len(exact) {
+		panic("metric: weights must match PO count for MSE/MED")
+	}
+	words := 0
+	if len(exact) > 0 {
+		words = len(exact[0])
+	}
+	st := &State{
+		kind:     kind,
+		weights:  weights,
+		patterns: patterns,
+		words:    words,
+		exact:    make([]bitvec.Vec, len(exact)),
+		cur:      make([]bitvec.Vec, len(exact)),
+		dev:      make([]float64, patterns),
+		mism:     make([]int32, patterns),
+	}
+	for i, e := range exact {
+		st.exact[i] = e.Clone()
+		st.cur[i] = e.Clone()
+	}
+	return st
+}
+
+// Kind returns the tracked metric.
+func (st *State) Kind() Kind { return st.kind }
+
+// Patterns returns the number of tracked patterns.
+func (st *State) Patterns() int { return st.patterns }
+
+// Error returns the current error of the approximate circuit.
+func (st *State) Error() float64 {
+	x := float64(st.patterns)
+	switch st.kind {
+	case ER:
+		return float64(st.errCount) / x
+	case MHD:
+		return float64(st.mismSum) / x
+	default:
+		return st.errSum / x
+	}
+}
+
+// flipDelta returns the deviation delta caused by flipping PO o in a
+// pattern whose current bit value is curBit.
+func (st *State) flipDelta(o int, curBit bool) float64 {
+	if curBit {
+		return -st.weights[o]
+	}
+	return st.weights[o]
+}
+
+// EvalLAC returns the error the circuit would have after a LAC whose target
+// value-change mask is D (patterns where the target node's value flips) and
+// whose change propagation row is row. The circuit state is unchanged.
+// Row PO indices must be unique — guaranteed for rows built by package cpm,
+// whose cut elements partition the reachable POs. For concurrent
+// evaluation, use per-worker Evaluators via NewEvaluator.
+func (st *State) EvalLAC(D bitvec.Vec, row *cpm.Row) float64 {
+	if st.def == nil {
+		st.def = st.NewEvaluator()
+	}
+	return st.def.EvalLAC(D, row)
+}
+
+// EvalLAC is the worker-scratch variant of State.EvalLAC.
+func (ev *Evaluator) EvalLAC(D bitvec.Vec, row *cpm.Row) float64 {
+	st := ev.st
+	ev.touched = ev.touched[:0]
+	for ri, o := range row.POs {
+		p := row.Diffs[ri]
+		curW := st.cur[o]
+		exW := st.exact[o]
+		oi := int(o)
+		for wi := 0; wi < len(D); wi++ {
+			w := D[wi] & p[wi]
+			if w == 0 {
+				continue
+			}
+			base := wi << 6
+			cw, ew := curW[wi], exW[wi]
+			for w != 0 {
+				bit := trailing(w)
+				i := base + bit
+				if !ev.onStack[i] {
+					ev.onStack[i] = true
+					ev.touched = append(ev.touched, int32(i))
+				}
+				curBit := cw>>uint(bit)&1 != 0
+				if st.kind == ER || st.kind == MHD {
+					exBit := ew>>uint(bit)&1 != 0
+					if curBit == exBit {
+						ev.dMism[i]++
+					} else {
+						ev.dMism[i]--
+					}
+				} else {
+					ev.delta[i] += st.flipDelta(oi, curBit)
+				}
+				w &= w - 1
+			}
+		}
+	}
+	// Fold.
+	var out float64
+	x := float64(st.patterns)
+	switch st.kind {
+	case ER:
+		cnt := st.errCount
+		for _, i := range ev.touched {
+			was := st.mism[i] > 0
+			now := st.mism[i]+ev.dMism[i] > 0
+			if was && !now {
+				cnt--
+			} else if !was && now {
+				cnt++
+			}
+		}
+		out = float64(cnt) / x
+	case MHD:
+		sum := st.mismSum
+		for _, i := range ev.touched {
+			sum += int64(ev.dMism[i])
+		}
+		out = float64(sum) / x
+	case MSE:
+		sum := st.errSum
+		for _, i := range ev.touched {
+			nd := st.dev[i] + ev.delta[i]
+			sum += nd*nd - st.dev[i]*st.dev[i]
+		}
+		out = sum / x
+	case MED:
+		sum := st.errSum
+		for _, i := range ev.touched {
+			nd := st.dev[i] + ev.delta[i]
+			sum += math.Abs(nd) - math.Abs(st.dev[i])
+		}
+		out = sum / x
+	}
+	// Reset scratch.
+	for _, i := range ev.touched {
+		ev.onStack[i] = false
+		ev.delta[i] = 0
+		ev.dMism[i] = 0
+	}
+	ev.touched = ev.touched[:0]
+	return out
+}
+
+func trailing(b uint64) int { return bits.TrailingZeros64(b) }
+
+// CommitPO records that PO o's value vector is now newVal, updating the
+// per-pattern state incrementally from the changed bits.
+func (st *State) CommitPO(o int, newVal bitvec.Vec) {
+	curW := st.cur[o]
+	exW := st.exact[o]
+	for wi := 0; wi < st.words; wi++ {
+		d := curW[wi] ^ newVal[wi]
+		if d == 0 {
+			continue
+		}
+		base := wi << 6
+		cw, ew := curW[wi], exW[wi]
+		for d != 0 {
+			bit := trailing(d & -d)
+			i := base + bit
+			curBit := cw>>uint(bit)&1 != 0
+			exBit := ew>>uint(bit)&1 != 0
+			if st.kind == ER || st.kind == MHD {
+				was := st.mism[i] > 0
+				if curBit == exBit {
+					st.mism[i]++
+					st.mismSum++
+				} else {
+					st.mism[i]--
+					st.mismSum--
+				}
+				now := st.mism[i] > 0
+				if was && !now {
+					st.errCount--
+				} else if !was && now {
+					st.errCount++
+				}
+			} else {
+				old := st.dev[i]
+				st.dev[i] += st.flipDelta(int(o), curBit)
+				if st.kind == MSE {
+					st.errSum += st.dev[i]*st.dev[i] - old*old
+				} else {
+					st.errSum += math.Abs(st.dev[i]) - math.Abs(old)
+				}
+			}
+			d &= d - 1
+		}
+		curW[wi] = newVal[wi]
+	}
+}
+
+// Compute evaluates the metric from scratch between two full sets of PO
+// words — the reference implementation used for validation and tests.
+func Compute(kind Kind, weights Weights, exact, approx []bitvec.Vec, patterns int) float64 {
+	if len(exact) != len(approx) {
+		panic("metric: PO count mismatch")
+	}
+	x := float64(patterns)
+	switch kind {
+	case ER:
+		cnt := 0
+		for i := 0; i < patterns; i++ {
+			for o := range exact {
+				if exact[o].Get(i) != approx[o].Get(i) {
+					cnt++
+					break
+				}
+			}
+		}
+		return float64(cnt) / x
+	case MHD:
+		bits := 0
+		for o := range exact {
+			bits += bitvec.XorCount(exact[o], approx[o])
+		}
+		return float64(bits) / x
+	default:
+		sum := 0.0
+		for i := 0; i < patterns; i++ {
+			dev := 0.0
+			for o := range exact {
+				e := exact[o].Get(i)
+				a := approx[o].Get(i)
+				if e != a {
+					if a {
+						dev += weights[o]
+					} else {
+						dev -= weights[o]
+					}
+				}
+			}
+			if kind == MSE {
+				sum += dev * dev
+			} else {
+				sum += math.Abs(dev)
+			}
+		}
+		return sum / x
+	}
+}

@@ -1,0 +1,61 @@
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"dpals/internal/gen"
+)
+
+func TestAblationCutUpdateFasterThanFresh(t *testing.T) {
+	g := gen.MultU(10, 10)
+	inc, fresh, avgSv := AblationCutUpdate(g, 20, 1)
+	t.Logf("incremental %v vs fresh %v (avg |S_v| = %.0f of %d nodes)", inc, fresh, avgSv, g.NumAnds())
+	if inc >= fresh {
+		t.Errorf("incremental cut update (%v) not faster than fresh recomputation (%v)", inc, fresh)
+	}
+	if avgSv <= 0 || avgSv >= float64(g.NumAnds()) {
+		t.Errorf("avg |S_v| = %v out of range", avgSv)
+	}
+}
+
+func TestAblationPartialCPMFasterThanFull(t *testing.T) {
+	g := gen.MultU(10, 10)
+	partial, full, closure := AblationPartialCPM(g, 60, 2048, 1)
+	t.Logf("partial (M=60, |N(S)|=%d) %v vs full %v", closure, partial, full)
+	if partial >= full {
+		t.Errorf("partial CPM (%v) not faster than full CPM (%v)", partial, full)
+	}
+	if closure < 60 {
+		t.Errorf("closure %d smaller than the target set", closure)
+	}
+}
+
+func TestAblationMSweepRuns(t *testing.T) {
+	b := gen.SmallSuite(true)[3] // sm9x8
+	rows := AblationMSweep(b, []int{15, 60}, Config{Out: io.Discard, Patterns: 512, CapIters: 40})
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Applied == 0 || r.ADP <= 0 || r.ADP > 1.01 {
+			t.Errorf("M=%d: applied=%d ADP=%v", r.M, r.Applied, r.ADP)
+		}
+	}
+}
+
+func TestAblationPatternsSweepRuns(t *testing.T) {
+	b := gen.SmallSuite(true)[0] // c880
+	rows := AblationPatternsSweep(b, []int{256, 1024}, Config{Out: io.Discard, CapIters: 40})
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.TrainErr > r.Threshold {
+			t.Errorf("patterns=%d: training error %v exceeds budget %v", r.Patterns, r.TrainErr, r.Threshold)
+		}
+		if r.ValidErr <= 0 {
+			t.Errorf("patterns=%d: validation error %v", r.Patterns, r.ValidErr)
+		}
+	}
+}

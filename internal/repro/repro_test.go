@@ -1,0 +1,84 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableI(t *testing.T) {
+	var buf bytes.Buffer
+	TableI(Config{Out: &buf, Scaled: true})
+	out := buf.String()
+	for _, name := range []string{"c880", "c1908", "c3540", "sm9x8", "mult16", "adder", "sin", "square", "sqrt", "log2", "butterfly", "vecmul8"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table I missing %s", name)
+		}
+	}
+}
+
+func TestFig4Quick(t *testing.T) {
+	var buf bytes.Buffer
+	rows := Fig4(Config{Out: &buf, Scaled: true, Quick: true, Patterns: 512})
+	if len(rows) == 0 {
+		t.Fatal("no Fig. 4 rows")
+	}
+	for _, r := range rows {
+		if r.Ran == 0 {
+			t.Errorf("%s: no iterations observed", r.Circuit)
+		}
+		for i, rate := range r.Rate {
+			if rate < 0 || rate > 1 {
+				t.Errorf("%s k=%d: rate %v out of range", r.Circuit, 10*(i+1), rate)
+			}
+		}
+	}
+	t.Log("\n" + buf.String())
+}
+
+func TestTableIISmallQuick(t *testing.T) {
+	var buf bytes.Buffer
+	rows := TableII(Config{Out: &buf, Scaled: true, Quick: true, Patterns: 512, Threads: 4}, true)
+	if len(rows) != 3 {
+		t.Fatalf("quick small subset: %d rows", len(rows))
+	}
+	for _, r := range rows {
+		for i, adp := range r.ADP {
+			if adp <= 0 || adp > 1.01 {
+				t.Errorf("%s %s: ADP ratio %v out of range", r.Circuit, tableIIMethods[i], adp)
+			}
+		}
+	}
+	t.Log("\n" + buf.String())
+}
+
+func TestTableIILargeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large circuits take minutes")
+	}
+	var buf bytes.Buffer
+	rows := TableII(Config{Out: &buf, Scaled: true, Quick: true, Patterns: 512, CapIters: 30, Threads: 4}, false)
+	if len(rows) != 2 {
+		t.Fatalf("quick large subset: %d rows", len(rows))
+	}
+	// The headline claim: DP must beat the exact VECBEE baseline clearly on
+	// large circuits.
+	for _, r := range rows {
+		if r.Runtime[2] >= r.Runtime[0] {
+			t.Errorf("%s: DP (%v) not faster than VECBEE l=∞ (%v)", r.Circuit, r.Runtime[2], r.Runtime[0])
+		}
+	}
+	t.Log("\n" + buf.String())
+}
+
+func TestTableIIIQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("single-threaded AccALS comparison takes a while")
+	}
+	var buf bytes.Buffer
+	rows := TableIII(Config{Out: &buf, Scaled: true, Quick: true, Patterns: 512, CapIters: 30})
+	if len(rows) != 5 {
+		t.Fatalf("quick subset: %d rows", len(rows))
+	}
+	t.Log("\n" + buf.String())
+}

@@ -1,0 +1,51 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"dpals/internal/metric"
+)
+
+func TestThresholds(t *testing.T) {
+	// K = 6 outputs → R = 4.
+	er := thresholds(metric.ER, 6)
+	if er[0] != 0.001 || er[1] != 0.01 || er[2] != 0.02 {
+		t.Errorf("ER thresholds %v", er)
+	}
+	med := thresholds(metric.MED, 6)
+	if math.Abs(med[0]-2) > 1e-9 || math.Abs(med[1]-4) > 1e-9 || math.Abs(med[2]-8) > 1e-9 {
+		t.Errorf("MED thresholds %v, want {2,4,8}", med)
+	}
+	mse := thresholds(metric.MSE, 6)
+	if math.Abs(mse[1]-16) > 1e-9 {
+		t.Errorf("MSE median %v, want 16", mse[1])
+	}
+	if mse[0] >= mse[1] || mse[1] >= mse[2] {
+		t.Errorf("MSE thresholds not increasing: %v", mse)
+	}
+}
+
+func TestAdjustLarge(t *testing.T) {
+	if got := adjustLarge("sqrt", 16); got != 1 {
+		t.Errorf("sqrt adjustment: %v", got)
+	}
+	if got := adjustLarge("log2", 32); got != 2 {
+		t.Errorf("log2 adjustment: %v", got)
+	}
+	if got := adjustLarge("butterfly", 7); got != 7 {
+		t.Errorf("butterfly must be unadjusted: %v", got)
+	}
+}
+
+func TestQuickSubsetStable(t *testing.T) {
+	// The quick subset must pick a fixed, documented set of circuits.
+	small := 0
+	for _, b := range quickSubset(nil) {
+		_ = b
+		small++
+	}
+	if small != 0 {
+		t.Error("empty input must give empty subset")
+	}
+}

@@ -1,0 +1,435 @@
+// Package sat implements a compact CDCL SAT solver — conflict-driven
+// clause learning with two-watched literals, first-UIP learning, VSIDS-like
+// activity ordering, phase saving and geometric restarts. It exists to
+// back formal checks on synthesis results (package equiv): combinational
+// equivalence and worst-case-error certification of approximate circuits.
+package sat
+
+import "sort"
+
+// Lit is a solver literal: variable<<1 | sign (sign 1 = negated).
+// Variables are 0-based.
+type Lit int32
+
+// MkLit builds a literal.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v) << 1
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complement.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+const (
+	valUnassigned int8 = 0
+	valTrue       int8 = 1
+	valFalse      int8 = -1
+)
+
+type clause struct {
+	lits    []Lit
+	learnt  bool
+	act     float64
+	deleted bool
+}
+
+// Solver is a CDCL SAT solver. Add variables with NewVar, clauses with
+// AddClause, then call Solve.
+type Solver struct {
+	clauses []*clause
+	watches [][]*clause // per literal
+
+	assign  []int8 // per var
+	level   []int32
+	reason  []*clause
+	trail   []Lit
+	trailLo []int32 // decision-level boundaries in trail
+	qhead   int
+
+	activity []float64
+	varInc   float64
+	order    []int  // decision order scratch
+	phase    []bool // saved phases
+
+	ok        bool
+	conflicts int64
+
+	// Limits.
+	MaxConflicts int64 // 0: unlimited
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{ok: true, varInc: 1}
+}
+
+// NewVar adds a variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assign)
+	s.assign = append(s.assign, valUnassigned)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.watches = append(s.watches, nil, nil)
+	return v
+}
+
+// NumVars returns the variable count.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+func (s *Solver) litVal(l Lit) int8 {
+	v := s.assign[l.Var()]
+	if v == valUnassigned {
+		return valUnassigned
+	}
+	if l.Neg() {
+		return -v
+	}
+	return v
+}
+
+// AddClause adds a clause; returns false when the formula became trivially
+// unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	// Normalise: sort, dedupe, drop tautologies and false literals at
+	// level 0.
+	sort.Slice(lits, func(i, j int) bool { return lits[i] < lits[j] })
+	out := lits[:0]
+	var prev Lit = -1
+	for _, l := range lits {
+		if l == prev {
+			continue
+		}
+		if prev >= 0 && l == prev.Not() && l.Var() == prev.Var() {
+			return true // tautology
+		}
+		switch s.litVal(l) {
+		case valTrue:
+			if s.level[l.Var()] == 0 {
+				return true // already satisfied forever
+			}
+		case valFalse:
+			if s.level[l.Var()] == 0 {
+				prev = l
+				continue // drop the literal
+			}
+		}
+		out = append(out, l)
+		prev = l
+	}
+	lits = out
+	switch len(lits) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if !s.enqueue(lits[0], nil) {
+			s.ok = false
+			return false
+		}
+		if conf := s.propagate(); conf != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: append([]Lit(nil), lits...)}
+	s.attach(c)
+	s.clauses = append(s.clauses, c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], c)
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+}
+
+func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLo)) }
+
+func (s *Solver) enqueue(l Lit, from *clause) bool {
+	switch s.litVal(l) {
+	case valTrue:
+		return true
+	case valFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Neg() {
+		s.assign[v] = valFalse
+	} else {
+		s.assign[v] = valTrue
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.phase[v] = !l.Neg()
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate performs unit propagation; returns a conflicting clause or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		ws := s.watches[p]
+		kept := ws[:0]
+		for wi := 0; wi < len(ws); wi++ {
+			c := ws[wi]
+			if c.deleted {
+				continue
+			}
+			// Ensure c.lits[1] is the false literal (p.Not()).
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.litVal(c.lits[0]) == valTrue {
+				kept = append(kept, c)
+				continue
+			}
+			// Find a new watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.litVal(c.lits[k]) != valFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Unit or conflict.
+			kept = append(kept, c)
+			if !s.enqueue(c.lits[0], c) {
+				// Conflict: restore remaining watches and report.
+				kept = append(kept, ws[wi+1:]...)
+				s.watches[p] = kept
+				return c
+			}
+		}
+		s.watches[p] = kept
+	}
+	return nil
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+// analyze derives a first-UIP learnt clause from a conflict; returns the
+// clause (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(conf *clause) ([]Lit, int32) {
+	learnt := []Lit{0} // slot for the asserting literal
+	seen := make(map[int]bool)
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+	c := conf
+	first := true
+
+	for {
+		// For reason clauses, lits[0] is the implied literal and is
+		// skipped; the conflict clause contributes every literal.
+		start := 1
+		if first {
+			start = 0
+			first = false
+		}
+		for k := start; k < len(c.lits); k++ {
+			q := c.lits[k]
+			v := q.Var()
+			if seen[v] || s.level[v] == 0 {
+				continue
+			}
+			seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Walk back the trail to the next marked literal.
+		for !seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx].Not()
+		v := s.trail[idx].Var()
+		c = s.reason[v]
+		seen[v] = false
+		counter--
+		idx--
+		if counter == 0 {
+			break
+		}
+	}
+	learnt[0] = p
+	// Backtrack level: highest level among the other literals; move one
+	// literal of that level to position 1 so both watches are sound after
+	// backtracking.
+	bt := int32(0)
+	btIdx := -1
+	for i, q := range learnt[1:] {
+		if s.level[q.Var()] > bt {
+			bt = s.level[q.Var()]
+			btIdx = i + 1
+		}
+	}
+	if btIdx > 1 {
+		learnt[1], learnt[btIdx] = learnt[btIdx], learnt[1]
+	}
+	return learnt, bt
+}
+
+func (s *Solver) backtrackTo(lvl int32) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	lo := s.trailLo[lvl]
+	for i := len(s.trail) - 1; i >= int(lo); i-- {
+		v := s.trail[i].Var()
+		s.assign[v] = valUnassigned
+		s.reason[v] = nil
+	}
+	s.trail = s.trail[:lo]
+	s.trailLo = s.trailLo[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) pickBranch() Lit {
+	best, bestAct := -1, -1.0
+	for v := 0; v < len(s.assign); v++ {
+		if s.assign[v] == valUnassigned && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
+		}
+	}
+	if best < 0 {
+		return -1
+	}
+	return MkLit(best, !s.phase[best])
+}
+
+// Status is the solve outcome.
+type Status int
+
+// Outcomes.
+const (
+	Unsat Status = iota
+	Sat
+	Unknown // conflict limit reached
+)
+
+// Solve runs the solver under the optional assumptions and returns the
+// status. After Sat, Model reports variable values.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if !s.ok {
+		return Unsat
+	}
+	if conf := s.propagate(); conf != nil {
+		s.ok = false
+		return Unsat
+	}
+	// Assumptions as pseudo-decisions at successive levels.
+	for _, a := range assumptions {
+		if s.litVal(a) == valTrue {
+			continue
+		}
+		s.trailLo = append(s.trailLo, int32(len(s.trail)))
+		if !s.enqueue(a, nil) || s.propagate() != nil {
+			s.backtrackTo(0)
+			return Unsat
+		}
+	}
+	assumeLevel := s.decisionLevel()
+
+	restartLimit := int64(100)
+	confsAtRestart := int64(0)
+	for {
+		conf := s.propagate()
+		if conf != nil {
+			s.conflicts++
+			confsAtRestart++
+			if s.decisionLevel() == assumeLevel {
+				s.backtrackTo(0)
+				return Unsat
+			}
+			learnt, bt := s.analyze(conf)
+			if bt < assumeLevel {
+				bt = assumeLevel
+			}
+			s.backtrackTo(bt)
+			if len(learnt) == 1 {
+				if !s.enqueue(learnt[0], nil) {
+					s.backtrackTo(0)
+					return Unsat
+				}
+			} else {
+				c := &clause{lits: learnt, learnt: true}
+				s.attach(c)
+				s.clauses = append(s.clauses, c)
+				s.enqueue(learnt[0], c)
+			}
+			s.varInc /= 0.95
+			if s.MaxConflicts > 0 && s.conflicts >= s.MaxConflicts {
+				s.backtrackTo(0)
+				return Unknown
+			}
+			if confsAtRestart >= restartLimit {
+				confsAtRestart = 0
+				restartLimit += restartLimit / 2
+				s.backtrackTo(assumeLevel)
+			}
+			continue
+		}
+		next := s.pickBranch()
+		if next < 0 {
+			return Sat // full assignment
+		}
+		s.trailLo = append(s.trailLo, int32(len(s.trail)))
+		s.enqueue(next, nil)
+	}
+}
+
+// Model returns the value of variable v after a Sat result.
+func (s *Solver) Model(v int) bool { return s.assign[v] == valTrue }
+
+// VerifyModel checks every original (non-learnt) clause under the current
+// assignment — a self-check for tests.
+func (s *Solver) VerifyModel() bool {
+	for _, c := range s.clauses {
+		if c.learnt || c.deleted {
+			continue
+		}
+		ok := false
+		for _, l := range c.lits {
+			if s.litVal(l) == valTrue {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

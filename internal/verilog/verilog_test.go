@@ -1,0 +1,109 @@
+package verilog
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+
+	"dpals/internal/aig"
+	"dpals/internal/gen"
+)
+
+func TestWriteBasicStructure(t *testing.T) {
+	g := aig.New("test-mod")
+	a, b := g.AddPI("a"), g.AddPI("b")
+	x := g.And(a, b.Not())
+	g.AddPO(x.Not(), "y")
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"module test_mod(",
+		"input  wire a,",
+		"input  wire b,",
+		"output wire y",
+		"endmodule",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// The single AND with a complemented fanin and the complemented PO.
+	if !regexp.MustCompile(`wire n\d+ = a & ~b;`).MatchString(out) {
+		t.Errorf("AND assignment wrong:\n%s", out)
+	}
+	if !regexp.MustCompile(`assign y = ~n\d+;`).MatchString(out) {
+		t.Errorf("PO assignment wrong:\n%s", out)
+	}
+}
+
+func TestWriteConstants(t *testing.T) {
+	g := aig.New("consts")
+	g.AddPI("a")
+	g.AddPO(aig.False, "zero")
+	g.AddPO(aig.True, "one")
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "assign zero = 1'b0;") || !strings.Contains(out, "assign one = 1'b1;") {
+		t.Errorf("constants wrong:\n%s", out)
+	}
+}
+
+func TestNameSanitisation(t *testing.T) {
+	g := aig.New("9bad name!")
+	a := g.AddPI("a[0]")
+	b := g.AddPI("a[1]")
+	g.AddPO(g.And(a, b), "out[0]")
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "module _9bad_name_(") {
+		t.Errorf("module name not sanitised:\n%s", out)
+	}
+	if !strings.Contains(out, "a_0_") || !strings.Contains(out, "a_1_") {
+		t.Errorf("PI names not sanitised:\n%s", out)
+	}
+	if strings.Contains(out, "[") {
+		t.Errorf("brackets leaked into identifiers:\n%s", out)
+	}
+}
+
+func TestNameCollisions(t *testing.T) {
+	g := aig.New("coll")
+	a := g.AddPI("x[0]")
+	b := g.AddPI("x_0_") // collides with sanitised a
+	g.AddPO(g.And(a, b), "y")
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "input  wire x_0_,") != 1 {
+		t.Errorf("collision not resolved:\n%s", out)
+	}
+	if !strings.Contains(out, "x_0__2") {
+		t.Errorf("second signal not renamed:\n%s", out)
+	}
+}
+
+func TestWholeSuiteEmits(t *testing.T) {
+	for _, b := range []*aig.Graph{gen.Adder(8), gen.MultU(4, 4), gen.ALU(4)} {
+		var buf bytes.Buffer
+		if err := Write(&buf, b); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		out := buf.String()
+		got := len(regexp.MustCompile(`wire n\d+ =`).FindAllString(out, -1))
+		if got != b.NumAnds() {
+			t.Errorf("%s: %d AND assignments, want %d", b.Name, got, b.NumAnds())
+		}
+	}
+}
