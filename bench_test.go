@@ -7,11 +7,18 @@ package dpals_test
 
 import (
 	"io"
+	"runtime"
 	"testing"
 	"time"
 
+	"dpals/internal/bitvec"
+	"dpals/internal/cpm"
+	"dpals/internal/cut"
 	"dpals/internal/gen"
+	"dpals/internal/lac"
+	"dpals/internal/metric"
 	"dpals/internal/repro"
+	"dpals/internal/sim"
 	"dpals/internal/techmap"
 )
 
@@ -126,6 +133,67 @@ func BenchmarkAblationMSweep(b *testing.B) {
 		if len(rows) == 3 && rows[2].Runtime > 0 {
 			b.ReportMetric(float64(rows[0].Runtime)/float64(rows[2].Runtime), "t_M15_over_M120")
 		}
+	}
+}
+
+// BenchmarkComprehensiveAnalysis measures the tentpole of the parallel
+// pipeline: one comprehensive error-analysis pass (step 1 disjoint cuts,
+// step 2 CPM, step 3 LAC evaluation) on a ≥4000-AND circuit, serial vs all
+// CPUs. The parallel result is verified bit-identical to the serial one
+// every iteration; speedup_x reports serial/parallel wall-clock (≈1.0 on a
+// single-core machine, where the parallel path still runs but cannot win).
+func BenchmarkComprehensiveAnalysis(b *testing.B) {
+	g := gen.VecMul(4, 10) // 4730 AND nodes
+	if n := g.NumAnds(); n < 4000 {
+		b.Fatalf("benchmark circuit too small: %d ANDs", n)
+	}
+	s := sim.New(g, sim.Options{Patterns: 2048, Seed: 1})
+	exact := make([]bitvec.Vec, g.NumPOs())
+	for o := range exact {
+		exact[o] = bitvec.NewWords(s.Words())
+		s.POVal(o, exact[o])
+	}
+	st := metric.NewState(metric.MSE, exact, metric.UnsignedWeights(g.NumPOs()), s.Patterns())
+	generator := lac.NewGenerator(g, s, lac.Options{Constants: true})
+	var targets []int32
+	for _, v := range g.Topo() {
+		if g.IsAnd(v) {
+			targets = append(targets, v)
+		}
+	}
+	pass := func(threads int) ([]lac.NodeBest, [3]time.Duration) {
+		var tm [3]time.Duration
+		t0 := time.Now()
+		cuts := cut.NewSet(g, threads)
+		tm[0] = time.Since(t0)
+		t1 := time.Now()
+		res := cpm.BuildDisjoint(g, s, cuts, nil, threads)
+		tm[1] = time.Since(t1)
+		t2 := time.Now()
+		bests, _ := lac.EvaluateTargets(generator, res, st, targets, threads)
+		tm[2] = time.Since(t2)
+		return bests, tm
+	}
+	var serialTotal, parTotal time.Duration
+	for i := 0; i < b.N; i++ {
+		sBests, sTm := pass(1)
+		pBests, pTm := pass(runtime.GOMAXPROCS(0))
+		if len(sBests) != len(pBests) {
+			b.Fatalf("parallel pass diverged: %d vs %d bests", len(sBests), len(pBests))
+		}
+		for j := range sBests {
+			if sBests[j] != pBests[j] {
+				b.Fatalf("parallel pass diverged at best %d: %+v vs %+v", j, sBests[j], pBests[j])
+			}
+		}
+		serialTotal += sTm[0] + sTm[1] + sTm[2]
+		parTotal += pTm[0] + pTm[1] + pTm[2]
+		b.ReportMetric(float64(pTm[0].Microseconds()), "cuts_us")
+		b.ReportMetric(float64(pTm[1].Microseconds()), "cpm_us")
+		b.ReportMetric(float64(pTm[2].Microseconds()), "eval_us")
+	}
+	if parTotal > 0 {
+		b.ReportMetric(float64(serialTotal)/float64(parTotal), "speedup_x")
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"dpals"
+	"dpals/internal/par"
 )
 
 func main() {
@@ -25,7 +26,7 @@ func main() {
 	threshold := flag.Float64("threshold", -1, "error budget (ER: fraction; MSE/MED: absolute; <0: paper median)")
 	patterns := flag.Int("patterns", 8192, "Monte-Carlo patterns")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	threads := flag.Int("threads", 1, "evaluation worker threads")
+	threads := flag.Int("threads", 0, "analysis worker threads (<=0 = all CPUs, 1 = serial)")
 	sasimi := flag.Bool("sasimi", false, "enable SASIMI signal-substitution LACs")
 	depth := flag.Int("l", 0, "VECBEE depth limit (0 = exact)")
 	out := flag.String("o", "", "output file (.blif or .aag); empty: no output written")
@@ -69,7 +70,7 @@ func main() {
 
 	fmt.Printf("input : %s (%d PIs, %d POs, %d gates, depth %d)\n",
 		flag.Arg(0), c.NumInputs(), c.NumOutputs(), c.NumGates(), c.Depth())
-	fmt.Printf("flow  : %v  metric %v ≤ %g  patterns %d  threads %d\n", flow, m, thr, *patterns, *threads)
+	fmt.Printf("flow  : %v  metric %v ≤ %g  patterns %d  threads %d\n", flow, m, thr, *patterns, par.Workers(*threads))
 
 	res, err := dpals.Approximate(c, dpals.Options{
 		Flow: flow, Metric: m, Threshold: thr,

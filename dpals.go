@@ -255,7 +255,7 @@ func BenchmarkSuite(scaled bool) []Benchmark {
 }
 
 // Options configures Approximate. Zero values select sensible defaults
-// (8192 patterns, seed 1, constant LACs, single thread).
+// (8192 patterns, seed 1, constant LACs, all CPUs).
 type Options struct {
 	Flow      Flow
 	Metric    Metric
@@ -264,7 +264,10 @@ type Options struct {
 
 	Patterns int   // Monte-Carlo patterns (default 8192)
 	Seed     int64 // simulation seed (default 1)
-	Threads  int   // LAC evaluation workers (default 1)
+	// Threads is the worker count for the whole analysis pipeline
+	// (simulation, cuts, CPM, LAC evaluation): ≤0 uses all CPUs, 1 runs
+	// serially. Results are bit-identical for every value.
+	Threads int
 
 	// Exhaustive enumerates all 2^inputs patterns instead of sampling,
 	// making every error figure exact. Limited to ≤ 24 inputs.
@@ -294,6 +297,13 @@ type Stats struct {
 	CutTime       time.Duration // step 1: disjoint cuts
 	CPMTime       time.Duration // step 2: change propagation matrix
 	EvalTime      time.Duration // step 3: LAC error evaluation
+
+	// Deterministic per-step work estimates in bit-vector word operations
+	// — the profile DP-SA's self-adaption tunes from. Unlike the *Time
+	// fields they are identical between runs for every Threads value.
+	CutWork  int64
+	CPMWork  int64
+	EvalWork int64
 }
 
 // Result of Approximate.
@@ -361,6 +371,9 @@ func Approximate(c *Circuit, opt Options) (*Result, error) {
 			CutTime:       res.Stats.Step.Cuts,
 			CPMTime:       res.Stats.Step.CPM,
 			EvalTime:      res.Stats.Step.Eval,
+			CutWork:       res.Stats.Work.Cuts,
+			CPMWork:       res.Stats.Work.CPM,
+			EvalWork:      res.Stats.Work.Eval,
 		},
 	}
 	if mo.Area > 0 {

@@ -375,6 +375,43 @@ func (g *Graph) Levels() []int32 {
 	return lv
 }
 
+// ReverseLevels groups the live AND nodes reachable from the POs by
+// reverse-topological level: group 0 holds nodes with no live AND fanout,
+// and a node's level is one more than the maximum level of its live
+// fanouts. Every node's transitive fanout therefore lies entirely in
+// earlier groups, so output-side analyses whose per-node work depends only
+// on fanout-side results (disjoint cuts, CPM rows) can process one group
+// in parallel with a barrier between groups. Within a group, nodes appear
+// in topological order. The result is not cached.
+func (g *Graph) ReverseLevels() [][]int32 {
+	rl := make([]int32, len(g.nodes))
+	order := g.Topo()
+	var max int32 = -1
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if !g.IsAnd(v) {
+			continue
+		}
+		var l int32
+		for _, f := range g.nodes[v].fanouts {
+			if g.IsAnd(f) && rl[f] >= l {
+				l = rl[f] + 1
+			}
+		}
+		rl[v] = l
+		if l > max {
+			max = l
+		}
+	}
+	groups := make([][]int32, max+1)
+	for _, v := range order {
+		if g.IsAnd(v) {
+			groups[rl[v]] = append(groups[rl[v]], v)
+		}
+	}
+	return groups
+}
+
 // Depth returns the maximum PO level.
 func (g *Graph) Depth() int32 {
 	lv := g.Levels()

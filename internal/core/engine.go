@@ -32,6 +32,22 @@ func Run(g *aig.Graph, opt Options) (*Result, error) {
 	if opt.Patterns <= 0 {
 		opt.Patterns = 8192
 	}
+	// Self-adaption parameters (§III-D): the zero value silently degenerates
+	// DP-SA (Br=Bs=Et=0 makes every phase-2 check "strict" and stops it on
+	// the first error increase; RInc=0 freezes M). Normalise to the paper
+	// defaults, exactly like Patterns above.
+	if opt.RInc <= 0 {
+		opt.RInc = 0.25
+	}
+	if opt.Br <= 0 {
+		opt.Br = 0.025
+	}
+	if opt.Bs <= 0 {
+		opt.Bs = 0.25
+	}
+	if opt.Et <= 0 {
+		opt.Et = 0.5
+	}
 	e, err := newEngine(g, opt)
 	if err != nil {
 		return nil, err
@@ -149,8 +165,10 @@ func (e *engine) apply(l lac.LAC) aig.ChangeSet {
 	}
 	if e.cuts != nil && e.incCuts {
 		t0 := time.Now()
+		w0 := e.cuts.Work()
 		e.cuts.UpdateAfter(cs)
 		e.stats.Step.Cuts += time.Since(t0)
+		e.stats.Work.Cuts += e.cuts.Work() - w0
 	}
 	e.gen.Reindex()
 	e.stats.Applied++

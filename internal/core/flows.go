@@ -14,14 +14,17 @@ import (
 // the per-node bests sorted by ascending error.
 func (e *engine) comprehensive() []lac.NodeBest {
 	t0 := time.Now()
-	e.cuts = cut.NewSet(e.g)
+	e.cuts = cut.NewSet(e.g, e.opt.Threads)
 	t1 := time.Now()
 	e.stats.Step.Cuts += t1.Sub(t0)
-	res := cpm.BuildDisjoint(e.g, e.s, e.cuts, nil)
+	e.stats.Work.Cuts += e.cuts.Work()
+	res := cpm.BuildDisjoint(e.g, e.s, e.cuts, nil, e.opt.Threads)
 	t2 := time.Now()
 	e.stats.Step.CPM += t2.Sub(t1)
-	bests := lac.EvaluateTargets(e.gen, res, e.st, e.liveTargets(), e.opt.Threads)
+	e.stats.Work.CPM += res.Work
+	bests, ew := lac.EvaluateTargets(e.gen, res, e.st, e.liveTargets(), e.opt.Threads)
 	e.stats.Step.Eval += time.Since(t2)
+	e.stats.Work.Eval += ew
 	e.stats.Phase1++
 	return bests
 }
@@ -51,11 +54,13 @@ func (e *engine) runVECBEE() {
 	exactMode := e.opt.DepthLimit <= 0
 	for !e.reachedCap() {
 		t1 := time.Now()
-		res := cpm.BuildVECBEE(e.g, e.s, e.opt.DepthLimit, nil)
+		res := cpm.BuildVECBEE(e.g, e.s, e.opt.DepthLimit, nil, e.opt.Threads)
 		t2 := time.Now()
 		e.stats.Step.CPM += t2.Sub(t1)
-		bests := lac.EvaluateTargets(e.gen, res, e.st, e.liveTargets(), e.opt.Threads)
+		e.stats.Work.CPM += res.Work
+		bests, ew := lac.EvaluateTargets(e.gen, res, e.st, e.liveTargets(), e.opt.Threads)
 		e.stats.Step.Eval += time.Since(t2)
+		e.stats.Work.Eval += ew
 		e.stats.Phase1++
 		if len(bests) == 0 || bests[0].Best.Err > e.opt.Threshold {
 			return
@@ -123,7 +128,15 @@ func (e *engine) runAccALS() {
 			continue
 		}
 		sn := e.snapshot()
-		applied := 0
+		// Apply the batch but hold the OnIteration callbacks until it
+		// validates: a rolled-back batch must not be observed, and its
+		// iteration numbers must not be consumed (the fallback single LAC
+		// reuses the first of them).
+		type appliedRec struct {
+			nb   lac.NodeBest
+			iter int
+		}
+		var recs []appliedRec
 		for _, nb := range sel {
 			l := nb.Best.LAC
 			if !e.g.IsAnd(l.Target) || e.g.IsDead(l.NewLit.Var()) {
@@ -133,22 +146,23 @@ func (e *engine) runAccALS() {
 				continue // earlier rewiring made this substitution cyclic
 			}
 			e.apply(l)
-			applied++
-			if e.opt.OnIteration != nil {
-				e.opt.OnIteration(e.iter, nb, bests)
-			}
+			recs = append(recs, appliedRec{nb: nb, iter: e.iter})
 		}
 		real := e.st.Error()
 		dev := math.Abs(real - est)
 		if real > e.opt.Threshold || dev > accTol*math.Max(est, 1e-12) {
 			// Estimate was unreliable: fall back to a single LAC (SEALS).
 			e.restore(sn)
-			e.stats.Applied -= applied
-			e.iter -= applied
+			e.stats.Applied -= len(recs)
+			e.iter -= len(recs)
 			chosen := bests[0]
 			e.apply(chosen.Best.LAC)
 			if e.opt.OnIteration != nil {
 				e.opt.OnIteration(e.iter, chosen, bests)
+			}
+		} else if e.opt.OnIteration != nil {
+			for _, r := range recs {
+				e.opt.OnIteration(r.iter, r.nb, bests)
 			}
 		}
 	}
@@ -157,7 +171,7 @@ func (e *engine) runAccALS() {
 // runDualPhase is the paper's contribution (Fig. 3(c)): dual-phase rounds
 // of one comprehensive analysis followed by up to N incremental
 // iterations restricted to the candidate set S_cand. With selfAdapt the
-// two §III-D techniques are enabled: parameter tuning from the step-time
+// two §III-D techniques are enabled: parameter tuning from the step-work
 // profile of the last dual phase, and the adaptive early stop of phase 2.
 func (e *engine) runDualPhase(selfAdapt bool) {
 	e.incCuts = true
@@ -178,7 +192,7 @@ func (e *engine) runDualPhase(selfAdapt bool) {
 	}
 
 	for !e.reachedCap() {
-		stepBefore := e.stats.Step
+		workBefore := e.stats.Work
 		// ---------- Phase 1: comprehensive analysis ----------
 		bests := e.comprehensive()
 		if len(bests) == 0 || bests[0].Best.Err > e.opt.Threshold {
@@ -222,11 +236,13 @@ func (e *engine) runDualPhase(selfAdapt bool) {
 				break
 			}
 			t1 := time.Now()
-			res := cpm.BuildDisjoint(e.g, e.s, e.cuts, scand)
+			res := cpm.BuildDisjoint(e.g, e.s, e.cuts, scand, e.opt.Threads)
 			t2 := time.Now()
 			e.stats.Step.CPM += t2.Sub(t1)
-			bests2 := lac.EvaluateTargets(e.gen, res, e.st, scand, e.opt.Threads)
+			e.stats.Work.CPM += res.Work
+			bests2, ew := lac.EvaluateTargets(e.gen, res, e.st, scand, e.opt.Threads)
 			e.stats.Step.Eval += time.Since(t2)
+			e.stats.Work.Eval += ew
 			if len(bests2) == 0 || bests2[0].Best.Err > e.opt.Threshold {
 				break
 			}
@@ -276,11 +292,16 @@ func (e *engine) runDualPhase(selfAdapt bool) {
 		}
 
 		// ---------- Self-adaption: tune parameters from the last phase ----------
+		// The paper profiles the steps by runtime; here the profile is the
+		// deterministic StepWork estimate (word operations), which tracks
+		// serial runtime but is identical between runs regardless of
+		// Threads, machine, or load — so the tuned trajectory, and with it
+		// the whole DP-SA flow, stays bit-reproducible.
 		if selfAdapt {
-			d := StepTimes{
-				Cuts: e.stats.Step.Cuts - stepBefore.Cuts,
-				CPM:  e.stats.Step.CPM - stepBefore.CPM,
-				Eval: e.stats.Step.Eval - stepBefore.Eval,
+			d := StepWork{
+				Cuts: e.stats.Work.Cuts - workBefore.Cuts,
+				CPM:  e.stats.Work.CPM - workBefore.CPM,
+				Eval: e.stats.Work.Eval - workBefore.Eval,
 			}
 			total := d.Total()
 			if total > 0 {

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"runtime"
 	"time"
 
 	"dpals/internal/lac"
@@ -61,7 +62,12 @@ type Options struct {
 
 	Patterns int   // Monte-Carlo patterns
 	Seed     int64 // pattern RNG seed
-	Threads  int   // parallel workers for LAC evaluation (≤1 serial)
+	// Threads is the worker count for the parallel analysis pipeline
+	// (simulation, disjoint cuts, CPM construction, LAC evaluation), with
+	// the pipeline-wide semantics of package par: ≤0 selects all CPUs
+	// (runtime.GOMAXPROCS), 1 runs serially. Results are bit-identical for
+	// every value.
+	Threads int
 
 	// Exhaustive simulates all 2^PIs input patterns instead of Monte-Carlo
 	// sampling, making every error figure exact. Only allowed for circuits
@@ -82,11 +88,13 @@ type Options struct {
 	// circuits under 4000 AND nodes, 150 otherwise); N ≤ 0 selects M/3.
 	M, N int
 
-	// Self-adaption parameters (§III-D), used by FlowDPSA.
-	RInc float64 // candidate-set growth factor (paper: 0.25)
-	Br   float64 // relaxed bound ratio (paper: 0.025)
-	Bs   float64 // strict bound ratio (paper: 0.25)
-	Et   float64 // relative-error-increase threshold (paper: 0.5)
+	// Self-adaption parameters (§III-D), used by FlowDPSA. Values ≤ 0 are
+	// normalised to the paper defaults by Run, so the zero value behaves
+	// like DefaultOptions.
+	RInc float64 // candidate-set growth factor (≤0: 0.25)
+	Br   float64 // relaxed bound ratio (≤0: 0.025)
+	Bs   float64 // strict bound ratio (≤0: 0.25)
+	Et   float64 // relative-error-increase threshold (≤0: 0.5)
 
 	// AccALS parameters.
 	MaxMulti int     // max LACs per iteration (≤0: 10)
@@ -111,7 +119,7 @@ func DefaultOptions(flow Flow, kind metric.Kind, threshold float64) Options {
 		Threshold: threshold,
 		Patterns:  8192,
 		Seed:      1,
-		Threads:   1,
+		Threads:   runtime.GOMAXPROCS(0),
 		LACs:      lac.Options{Constants: true},
 		RInc:      0.25,
 		Br:        0.025,
@@ -132,6 +140,22 @@ type StepTimes struct {
 // Total returns the summed step time.
 func (t StepTimes) Total() time.Duration { return t.Cuts + t.CPM + t.Eval }
 
+// StepWork is the deterministic analogue of StepTimes: cumulated work
+// estimates of the three analysis steps in bitvec word operations, as
+// self-reported by cut.Set.Work, cpm.Result.Work and lac.EvaluateTargets.
+// Unlike wall-clock times these are identical between runs regardless of
+// Threads, machine, or load, so DP-SA's self-adaption (§III-D) profiles
+// the steps with StepWork — keeping the whole flow bit-deterministic —
+// while StepTimes keeps reporting real runtimes.
+type StepWork struct {
+	Cuts int64
+	CPM  int64
+	Eval int64
+}
+
+// Total returns the summed step work.
+func (w StepWork) Total() int64 { return w.Cuts + w.CPM + w.Eval }
+
 // Stats reports what a run did.
 type Stats struct {
 	Applied     int // LACs applied in total
@@ -142,6 +166,7 @@ type Stats struct {
 	NodesAfter  int
 	Runtime     time.Duration
 	Step        StepTimes
+	Work        StepWork
 
 	// Self-adaption trajectory (DP-SA): the M value after each dual phase.
 	MTrace []int

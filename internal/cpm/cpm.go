@@ -19,10 +19,12 @@ package cpm
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"dpals/internal/aig"
 	"dpals/internal/bitvec"
 	"dpals/internal/cut"
+	"dpals/internal/par"
 	"dpals/internal/sim"
 )
 
@@ -46,7 +48,12 @@ func (r *Row) Find(o int32) bitvec.Vec {
 // Result is a computed (possibly partial) CPM.
 type Result struct {
 	Words int
-	rows  []Row // per var; empty when not computed/retained
+	// Work is the deterministic work estimate of the build in bitvec word
+	// operations (region simulation plus row assembly). Unlike wall-clock
+	// time it is identical between runs regardless of thread count, machine,
+	// or load; DP-SA's self-adaption profiles the analysis steps with it.
+	Work int64
+	rows []Row // per var; empty when not computed/retained
 }
 
 // Row returns the row of node v (empty when not computed or freed).
@@ -94,19 +101,25 @@ type regionSimulator struct {
 	region   []int32
 }
 
-func newRegionSimulator(g *aig.Graph, s *sim.Sim) *regionSimulator {
-	rs := &regionSimulator{
+// topoPositions returns the topological position of every variable,
+// shared read-only by all workers' region simulators.
+func topoPositions(g *aig.Graph) []int32 {
+	pos := make([]int32, g.NumVars())
+	for i, v := range g.Topo() {
+		pos[v] = int32(i)
+	}
+	return pos
+}
+
+func newRegionSimulator(g *aig.Graph, s *sim.Sim, pos []int32) *regionSimulator {
+	return &regionSimulator{
 		g:        g,
 		s:        s,
 		words:    s.Words(),
-		pos:      make([]int32, g.NumVars()),
+		pos:      pos,
 		inRegion: make([]uint32, g.NumVars()),
 		scratch:  make([]bitvec.Vec, g.NumVars()),
 	}
-	for i, v := range g.Topo() {
-		rs.pos[v] = int32(i)
-	}
-	return rs
 }
 
 // flipVal returns the flipped-simulation value of variable v: its scratch
@@ -218,12 +231,94 @@ func (rs *regionSimulator) diffAt(v int32, dst bitvec.Vec) {
 	dst.Xor(rs.flipVal(v), rs.s.Val(v))
 }
 
+// disjointBuilder holds the shared, read-mostly state of one BuildDisjoint
+// pass. Workers communicate only through index-addressed rows (each row is
+// written by exactly one worker and read only after its dependency wave
+// completed) and the atomic reference counts.
+type disjointBuilder struct {
+	g    *aig.Graph
+	s    *sim.Sim
+	cuts *cut.Set
+	res  *Result
+	keep []bool
+	refs []int32 // atomic: still-unprocessed consumers per row
+}
+
+// processNode computes the CPM row of v. All of v's non-sink cut elements
+// must already have their rows computed (wave scheduling guarantees this).
+func (b *disjointBuilder) processNode(rs *regionSimulator, cutSet map[int32]bool, v int32) {
+	elems := b.cuts.Cut(v)
+	if len(elems) == 0 {
+		return // reaches no PO: a flip can never be observed
+	}
+	// Flip-simulate the region bounded by the node cut elements. Sink
+	// elements leave their whole PO cone inside the region, so the
+	// diff at the PO driver is available directly.
+	for k := range cutSet {
+		delete(cutSet, k)
+	}
+	for _, e := range elems {
+		if !cut.IsSink(e) {
+			cutSet[e] = true
+		}
+	}
+	rs.collectBounded(v, cutSet)
+	rs.propagate(v)
+	// Work accounting: one words-wide pass per region node simulated and
+	// per diff vector assembled; folded in with one atomic add per node.
+	w := int64(1+len(rs.region)) * int64(b.res.Words)
+	// Assemble the row: Eq. (1) per covered PO.
+	row := &b.res.rows[v]
+	for _, e := range elems {
+		if cut.IsSink(e) {
+			// A sink is a universal one-cut: P[v,o] is the Boolean
+			// difference observed at the PO driver (all-ones when v
+			// drives o itself).
+			o := cut.SinkPO(e)
+			d := bitvec.NewWords(b.res.Words)
+			rs.diffAt(b.g.PO(o).Var(), d)
+			row.POs = append(row.POs, int32(o))
+			row.Diffs = append(row.Diffs, d)
+			w += int64(b.res.Words)
+			continue
+		}
+		local := bitvec.NewWords(b.res.Words)
+		rs.diffAt(e, local)
+		erow := &b.res.rows[e]
+		w += int64(1+len(erow.POs)) * int64(b.res.Words)
+		for i, o := range erow.POs {
+			d := bitvec.NewWords(b.res.Words)
+			d.And(erow.Diffs[i], local)
+			row.POs = append(row.POs, o)
+			row.Diffs = append(row.Diffs, d)
+		}
+		// Release the element row once its last consumer is done. The
+		// decrement comes after the reads above, so the consumer that
+		// drops the count to zero knows every other consumer is done too.
+		if atomic.AddInt32(&b.refs[e], -1) == 0 && !b.keep[e] {
+			b.res.rows[e] = Row{}
+		}
+	}
+	// v's own consumers only run in later waves, so a zero count here
+	// means the row is needed by nobody (and was not requested).
+	if atomic.LoadInt32(&b.refs[v]) == 0 && !b.keep[v] {
+		b.res.rows[v] = Row{}
+	}
+	atomic.AddInt64(&b.res.Work, w)
+}
+
 // BuildDisjoint computes CPM rows with the disjoint-cut scheme. When
 // targets is nil, rows for every live AND node are computed and retained.
 // Otherwise only the closure N(targets) is processed and only the targets'
 // rows are retained (intermediate rows are reference-counted and freed as
 // soon as their last consumer is done).
-func BuildDisjoint(g *aig.Graph, s *sim.Sim, cuts *cut.Set, targets []int32) *Result {
+//
+// threads follows the pipeline-wide semantics of package par (≤0: all
+// CPUs, 1: serial). Row construction is fanned out over waves of the
+// cut-element dependency DAG — a node's row depends only on the rows of
+// its non-sink cut elements, read-only simulation values, and the shared
+// cut set — and the result is bit-identical for every thread count.
+func BuildDisjoint(g *aig.Graph, s *sim.Sim, cuts *cut.Set, targets []int32, threads int) *Result {
 	res := &Result{Words: s.Words(), rows: make([]Row, g.NumVars())}
 
 	var procList []int32
@@ -244,10 +339,6 @@ func BuildDisjoint(g *aig.Graph, s *sim.Sim, cuts *cut.Set, targets []int32) *Re
 
 	// Reference counts: how many still-unprocessed nodes need each row.
 	refs := make([]int32, g.NumVars())
-	inProc := make([]bool, g.NumVars())
-	for _, v := range procList {
-		inProc[v] = true
-	}
 	for _, v := range procList {
 		for _, e := range cuts.Cut(v) {
 			if !cut.IsSink(e) {
@@ -256,61 +347,44 @@ func BuildDisjoint(g *aig.Graph, s *sim.Sim, cuts *cut.Set, targets []int32) *Re
 		}
 	}
 
-	rs := newRegionSimulator(g, s)
-	pos := rs.pos
+	pos := topoPositions(g)
 	sort.Slice(procList, func(i, j int) bool { return pos[procList[i]] > pos[procList[j]] })
 
-	cutSet := make(map[int32]bool)
+	// Wave schedule over the exact dependency DAG: lvl(v) is one more than
+	// the deepest non-sink cut element. Cut elements lie strictly in v's
+	// transitive fanout, i.e. earlier in the descending-position procList,
+	// so one forward sweep suffices.
+	lvl := make([]int32, g.NumVars())
+	var numLvl int32
 	for _, v := range procList {
-		elems := cuts.Cut(v)
-		if len(elems) == 0 {
-			continue // reaches no PO: a flip can never be observed
-		}
-		// Flip-simulate the region bounded by the node cut elements. Sink
-		// elements leave their whole PO cone inside the region, so the
-		// diff at the PO driver is available directly.
-		for k := range cutSet {
-			delete(cutSet, k)
-		}
-		for _, e := range elems {
-			if !cut.IsSink(e) {
-				cutSet[e] = true
+		var l int32
+		for _, e := range cuts.Cut(v) {
+			if !cut.IsSink(e) && lvl[e] >= l {
+				l = lvl[e] + 1
 			}
 		}
-		rs.collectBounded(v, cutSet)
-		rs.propagate(v)
-		// Assemble the row: Eq. (1) per covered PO.
-		row := &res.rows[v]
-		for _, e := range elems {
-			if cut.IsSink(e) {
-				// A sink is a universal one-cut: P[v,o] is the Boolean
-				// difference observed at the PO driver (all-ones when v
-				// drives o itself).
-				o := cut.SinkPO(e)
-				d := bitvec.NewWords(s.Words())
-				rs.diffAt(g.PO(o).Var(), d)
-				row.POs = append(row.POs, int32(o))
-				row.Diffs = append(row.Diffs, d)
-				continue
-			}
-			local := bitvec.NewWords(s.Words())
-			rs.diffAt(e, local)
-			erow := &res.rows[e]
-			for i, o := range erow.POs {
-				d := bitvec.NewWords(s.Words())
-				d.And(erow.Diffs[i], local)
-				row.POs = append(row.POs, o)
-				row.Diffs = append(row.Diffs, d)
-			}
-			// Release the element row once its last consumer is done.
-			refs[e]--
-			if refs[e] == 0 && !keep[e] {
-				res.rows[e] = Row{}
-			}
+		lvl[v] = l
+		if l+1 > numLvl {
+			numLvl = l + 1
 		}
-		if refs[v] == 0 && !keep[v] {
-			res.rows[v] = Row{}
-		}
+	}
+	waves := make([][]int32, numLvl)
+	for _, v := range procList {
+		waves[lvl[v]] = append(waves[lvl[v]], v)
+	}
+
+	b := &disjointBuilder{g: g, s: s, cuts: cuts, res: res, keep: keep, refs: refs}
+	workers := par.ScratchSlots(threads, len(procList))
+	rss := make([]*regionSimulator, workers)
+	cutSets := make([]map[int32]bool, workers)
+	for w := range rss {
+		rss[w] = newRegionSimulator(g, s, pos)
+		cutSets[w] = make(map[int32]bool)
+	}
+	for _, wave := range waves {
+		par.ForEach(threads, wave, func(w int, v int32) {
+			b.processNode(rss[w], cutSets[w], v)
+		})
 	}
 	return res
 }
@@ -342,6 +416,88 @@ func ReachSets(g *aig.Graph) []bitvec.Vec {
 	return reach
 }
 
+// vecbeeBuilder holds the shared state of one BuildVECBEE pass. With a
+// finite depth limit, a node's row composes the rows of its frontier
+// nodes, which lie strictly in the node's transitive fanout — so waves of
+// one reverse-topological level are independent; with l=∞ rows never
+// compose and every node is independent.
+type vecbeeBuilder struct {
+	g        *aig.Graph
+	s        *sim.Sim
+	res      *Result
+	infinite bool
+	l        int
+	drivers  map[int32][]int
+	ones     bitvec.Vec // shared all-ones diff, read-only
+}
+
+func (b *vecbeeBuilder) processNode(rs *regionSimulator, depth map[int32]int, v int32) {
+	for k := range depth {
+		delete(depth, k)
+	}
+	frontier := rs.collectDepth(v, b.l, depth)
+	rs.propagate(v)
+	w := int64(1+len(rs.region)) * int64(b.res.Words)
+
+	row := &b.res.rows[v]
+	covered := map[int32]bool{}
+	// Exact part: POs whose driver lies inside the simulated region
+	// (or is v itself).
+	for _, os := range b.drivers[v] {
+		row.POs = append(row.POs, int32(os))
+		row.Diffs = append(row.Diffs, b.ones)
+		covered[int32(os)] = true
+	}
+	for _, u := range rs.region {
+		for _, o := range b.drivers[u] {
+			if covered[int32(o)] {
+				continue
+			}
+			d := bitvec.NewWords(b.res.Words)
+			rs.diffAt(u, d)
+			row.POs = append(row.POs, int32(o))
+			row.Diffs = append(row.Diffs, d)
+			covered[int32(o)] = true
+		}
+	}
+	// Approximate part: POs beyond the frontier, OR-combined over the
+	// frontier nodes' own rows (finite l only; with l=∞ the region is
+	// the whole cone and nothing remains).
+	if !b.infinite {
+		acc := map[int32]bitvec.Vec{}
+		scratch := bitvec.NewWords(b.res.Words)
+		for _, f := range frontier {
+			fdiff := bitvec.NewWords(b.res.Words)
+			rs.diffAt(f, fdiff)
+			frow := &b.res.rows[f]
+			w += int64(1+len(frow.POs)) * int64(b.res.Words)
+			for j, o := range frow.POs {
+				if covered[o] {
+					continue
+				}
+				scratch.And(frow.Diffs[j], fdiff)
+				if a, ok := acc[o]; ok {
+					a.OrWith(scratch)
+				} else {
+					nv := bitvec.NewWords(b.res.Words)
+					nv.CopyFrom(scratch)
+					acc[o] = nv
+				}
+			}
+		}
+		oIdx := make([]int32, 0, len(acc))
+		for o := range acc {
+			oIdx = append(oIdx, o)
+		}
+		sort.Slice(oIdx, func(a, b int) bool { return oIdx[a] < oIdx[b] })
+		for _, o := range oIdx {
+			row.POs = append(row.POs, o)
+			row.Diffs = append(row.Diffs, acc[o])
+		}
+	}
+	atomic.AddInt64(&b.res.Work, w)
+}
+
 // BuildVECBEE computes CPM rows with the original VECBEE scheme at depth
 // limit l: each node's flip is propagated exactly through its transitive
 // fanout up to l levels; beyond the frontier the effect is approximated by
@@ -350,7 +506,10 @@ func ReachSets(g *aig.Graph) []bitvec.Vec {
 // targets' rows are retained, but — unlike the disjoint scheme — every
 // node must still be processed when l is finite, because frontier
 // composition may need any row.
-func BuildVECBEE(g *aig.Graph, s *sim.Sim, l int, targets []int32) *Result {
+//
+// threads follows the pipeline-wide semantics of package par (≤0: all
+// CPUs, 1: serial); the result is bit-identical for every thread count.
+func BuildVECBEE(g *aig.Graph, s *sim.Sim, l int, targets []int32, threads int) *Result {
 	res := &Result{Words: s.Words(), rows: make([]Row, g.NumVars())}
 	keep := make([]bool, g.NumVars())
 	if targets == nil {
@@ -370,84 +529,46 @@ func BuildVECBEE(g *aig.Graph, s *sim.Sim, l int, targets []int32) *Result {
 		drivers[po.Var()] = append(drivers[po.Var()], o)
 	}
 
-	rs := newRegionSimulator(g, s)
-	order := g.Topo()
-	depth := map[int32]int{}
-
 	ones := bitvec.NewWords(s.Words())
 	ones.SetAll()
 	ones.Mask(s.Patterns())
 
-	for i := len(order) - 1; i >= 0; i-- {
-		v := order[i]
-		if !g.IsAnd(v) {
-			continue
-		}
-		if infinite && targets != nil && !keep[v] {
-			// With l=∞ rows never compose; skip non-targets entirely.
-			continue
-		}
-		for k := range depth {
-			delete(depth, k)
-		}
-		frontier := rs.collectDepth(v, l, depth)
-		rs.propagate(v)
+	b := &vecbeeBuilder{g: g, s: s, res: res, infinite: infinite, l: l, drivers: drivers, ones: ones}
 
-		row := &res.rows[v]
-		covered := map[int32]bool{}
-		// Exact part: POs whose driver lies inside the simulated region
-		// (or is v itself).
-		for _, os := range drivers[v] {
-			row.POs = append(row.POs, int32(os))
-			row.Diffs = append(row.Diffs, ones)
-			covered[int32(os)] = true
-		}
-		for _, u := range rs.region {
-			for _, o := range drivers[u] {
-				if covered[int32(o)] {
-					continue
-				}
-				d := bitvec.NewWords(s.Words())
-				rs.diffAt(u, d)
-				row.POs = append(row.POs, int32(o))
-				row.Diffs = append(row.Diffs, d)
-				covered[int32(o)] = true
+	// With l=∞ rows never compose, so every node is one independent unit
+	// of work (and non-targets can be skipped entirely). With finite l a
+	// node composes rows of frontier nodes in its strict transitive
+	// fanout, so reverse-topological levels run as waves with barriers.
+	var waves [][]int32
+	if infinite {
+		var flat []int32
+		order := g.Topo()
+		for i := len(order) - 1; i >= 0; i-- {
+			v := order[i]
+			if g.IsAnd(v) && (targets == nil || keep[v]) {
+				flat = append(flat, v)
 			}
 		}
-		// Approximate part: POs beyond the frontier, OR-combined over the
-		// frontier nodes' own rows (finite l only; with l=∞ the region is
-		// the whole cone and nothing remains).
-		if !infinite {
-			acc := map[int32]bitvec.Vec{}
-			scratch := bitvec.NewWords(s.Words())
-			for _, f := range frontier {
-				fdiff := bitvec.NewWords(s.Words())
-				rs.diffAt(f, fdiff)
-				frow := &res.rows[f]
-				for j, o := range frow.POs {
-					if covered[o] {
-						continue
-					}
-					scratch.And(frow.Diffs[j], fdiff)
-					if a, ok := acc[o]; ok {
-						a.OrWith(scratch)
-					} else {
-						nv := bitvec.NewWords(s.Words())
-						nv.CopyFrom(scratch)
-						acc[o] = nv
-					}
-				}
-			}
-			oIdx := make([]int32, 0, len(acc))
-			for o := range acc {
-				oIdx = append(oIdx, o)
-			}
-			sort.Slice(oIdx, func(a, b int) bool { return oIdx[a] < oIdx[b] })
-			for _, o := range oIdx {
-				row.POs = append(row.POs, o)
-				row.Diffs = append(row.Diffs, acc[o])
-			}
-		}
+		waves = [][]int32{flat}
+	} else {
+		waves = g.ReverseLevels()
+	}
+	var numNodes int
+	for _, wave := range waves {
+		numNodes += len(wave)
+	}
+	pos := topoPositions(g)
+	workers := par.ScratchSlots(threads, numNodes)
+	rss := make([]*regionSimulator, workers)
+	depths := make([]map[int32]int, workers)
+	for w := range rss {
+		rss[w] = newRegionSimulator(g, s, pos)
+		depths[w] = make(map[int32]int)
+	}
+	for _, wave := range waves {
+		par.ForEach(threads, wave, func(w int, v int32) {
+			b.processNode(rss[w], depths[w], v)
+		})
 	}
 	return res
 }

@@ -112,8 +112,8 @@ func TestDisjointCPMMatchesBruteForce(t *testing.T) {
 	for trial := 0; trial < 12; trial++ {
 		g := randomGraph(rng, 6, 70, 6)
 		s := sim.New(g, sim.Options{Patterns: 192, Seed: int64(trial)})
-		cuts := cut.NewSet(g)
-		res := BuildDisjoint(g, s, cuts, nil)
+		cuts := cut.NewSet(g, 1)
+		res := BuildDisjoint(g, s, cuts, nil, 1)
 		for _, v := range g.Topo() {
 			if g.IsAnd(v) {
 				checkAgainstBruteForce(t, g, s, res, v)
@@ -127,7 +127,7 @@ func TestVECBEEInfiniteMatchesBruteForce(t *testing.T) {
 	for trial := 0; trial < 8; trial++ {
 		g := randomGraph(rng, 6, 60, 5)
 		s := sim.New(g, sim.Options{Patterns: 128, Seed: int64(trial)})
-		res := BuildVECBEE(g, s, 0, nil)
+		res := BuildVECBEE(g, s, 0, nil, 1)
 		for _, v := range g.Topo() {
 			if g.IsAnd(v) {
 				checkAgainstBruteForce(t, g, s, res, v)
@@ -160,7 +160,7 @@ func TestVECBEEDepth1ExactOnTree(t *testing.T) {
 	g.AddPO(level[0], "root")
 	gg := g.Sweep()
 	s := sim.New(gg, sim.Options{Patterns: 256, Seed: 3})
-	res := BuildVECBEE(gg, s, 1, nil)
+	res := BuildVECBEE(gg, s, 1, nil, 1)
 	for _, v := range gg.Topo() {
 		if gg.IsAnd(v) {
 			checkAgainstBruteForce(t, gg, s, res, v)
@@ -176,7 +176,7 @@ func TestVECBEEDepthConvergence(t *testing.T) {
 	g := randomGraph(rng, 5, 40, 4)
 	s := sim.New(g, sim.Options{Patterns: 128, Seed: 9})
 	deep := int(g.Depth()) + 2
-	res := BuildVECBEE(g, s, deep, nil)
+	res := BuildVECBEE(g, s, deep, nil, 1)
 	for _, v := range g.Topo() {
 		if g.IsAnd(v) {
 			checkAgainstBruteForce(t, g, s, res, v)
@@ -197,7 +197,7 @@ func TestClosureExample2(t *testing.T) {
 	bl := g.And(q, r)
 	dl := g.And(al, bl)
 	g.AddPO(dl, "O1")
-	cuts := cut.NewSet(g)
+	cuts := cut.NewSet(g, 1)
 	got := Closure(cuts, []int32{al.Var(), bl.Var()})
 	want := map[int32]bool{al.Var(): true, bl.Var(): true, dl.Var(): true}
 	if len(got) != 3 {
@@ -216,8 +216,8 @@ func TestPartialMatchesFull(t *testing.T) {
 	for trial := 0; trial < 8; trial++ {
 		g := randomGraph(rng, 6, 80, 6)
 		s := sim.New(g, sim.Options{Patterns: 128, Seed: int64(trial)})
-		cuts := cut.NewSet(g)
-		full := BuildDisjoint(g, s, cuts, nil)
+		cuts := cut.NewSet(g, 1)
+		full := BuildDisjoint(g, s, cuts, nil, 1)
 
 		// Pick a handful of random targets.
 		var ands []int32
@@ -230,7 +230,7 @@ func TestPartialMatchesFull(t *testing.T) {
 			continue
 		}
 		targets := []int32{ands[0], ands[len(ands)/3], ands[len(ands)/2], ands[len(ands)-1]}
-		part := BuildDisjoint(g, s, cuts, targets)
+		part := BuildDisjoint(g, s, cuts, targets, 1)
 		for _, v := range targets {
 			fr, pr := full.Row(v), part.Row(v)
 			if len(fr.POs) != len(pr.POs) {
@@ -266,11 +266,11 @@ func BenchmarkBuildDisjointFull(b *testing.B) {
 	rng := rand.New(rand.NewSource(47))
 	g := randomGraph(rng, 24, 1500, 12)
 	s := sim.New(g, sim.Options{Patterns: 4096, Seed: 1})
-	cuts := cut.NewSet(g)
+	cuts := cut.NewSet(g, 1)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		BuildDisjoint(g, s, cuts, nil)
+		BuildDisjoint(g, s, cuts, nil, 1)
 	}
 }
 
@@ -281,7 +281,7 @@ func BenchmarkBuildVECBEEInfinite(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		BuildVECBEE(g, s, 0, nil)
+		BuildVECBEE(g, s, 0, nil, 1)
 	}
 }
 
@@ -289,7 +289,7 @@ func BenchmarkBuildPartial(b *testing.B) {
 	rng := rand.New(rand.NewSource(47))
 	g := randomGraph(rng, 24, 1500, 12)
 	s := sim.New(g, sim.Options{Patterns: 4096, Seed: 1})
-	cuts := cut.NewSet(g)
+	cuts := cut.NewSet(g, 1)
 	var targets []int32
 	for _, v := range g.Topo() {
 		if g.IsAnd(v) {
@@ -302,6 +302,81 @@ func BenchmarkBuildPartial(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		BuildDisjoint(g, s, cuts, targets)
+		BuildDisjoint(g, s, cuts, targets, 1)
+	}
+}
+
+// equalResults compares every retained row of two CPM results bit for bit,
+// PO order included.
+func equalResults(t *testing.T, label string, g *aig.Graph, a, b *Result) {
+	t.Helper()
+	for v := int32(0); v <= g.MaxVar(); v++ {
+		ra, rb := a.Row(v), b.Row(v)
+		if len(ra.POs) != len(rb.POs) {
+			t.Fatalf("%s node %d: %d vs %d retained POs", label, v, len(ra.POs), len(rb.POs))
+		}
+		for i := range ra.POs {
+			if ra.POs[i] != rb.POs[i] {
+				t.Fatalf("%s node %d: PO order %v vs %v", label, v, ra.POs, rb.POs)
+			}
+			if !ra.Diffs[i].Equal(rb.Diffs[i]) {
+				t.Fatalf("%s node %d PO %d: diff vectors differ", label, v, ra.POs[i])
+			}
+		}
+	}
+}
+
+// TestBuildDisjointParallelMatchesSerial checks the bit-identity contract of
+// the wave-parallel CPM builder, for full and target-restricted builds.
+func TestBuildDisjointParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 12; trial++ {
+		g := randomGraph(rng, 6, 70, 5)
+		s := sim.New(g, sim.Options{Patterns: 256, Seed: int64(trial)})
+		cuts := cut.NewSet(g, 1)
+		var targets []int32
+		for _, v := range g.Topo() {
+			if g.IsAnd(v) && rng.Intn(3) == 0 {
+				targets = append(targets, v)
+			}
+		}
+		for _, threads := range []int{2, 8} {
+			full1 := BuildDisjoint(g, s, cuts, nil, 1)
+			fullN := BuildDisjoint(g, s, cuts, nil, threads)
+			equalResults(t, "full", g, full1, fullN)
+			if len(targets) > 0 {
+				part1 := BuildDisjoint(g, s, cuts, targets, 1)
+				partN := BuildDisjoint(g, s, cuts, targets, threads)
+				equalResults(t, "partial", g, part1, partN)
+			}
+		}
+	}
+}
+
+// TestBuildVECBEEParallelMatchesSerial covers both VECBEE schedules: the
+// level-waved finite-depth build and the single-wave infinite build.
+func TestBuildVECBEEParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 12; trial++ {
+		g := randomGraph(rng, 6, 70, 5)
+		s := sim.New(g, sim.Options{Patterns: 256, Seed: int64(trial)})
+		var targets []int32
+		for _, v := range g.Topo() {
+			if g.IsAnd(v) && rng.Intn(3) == 0 {
+				targets = append(targets, v)
+			}
+		}
+		for _, l := range []int{0, 2, 5} {
+			for _, threads := range []int{2, 8} {
+				full1 := BuildVECBEE(g, s, l, nil, 1)
+				fullN := BuildVECBEE(g, s, l, nil, threads)
+				equalResults(t, "full", g, full1, fullN)
+				if len(targets) > 0 {
+					part1 := BuildVECBEE(g, s, l, targets, 1)
+					partN := BuildVECBEE(g, s, l, targets, threads)
+					equalResults(t, "partial", g, part1, partN)
+				}
+			}
+		}
 	}
 }

@@ -21,9 +21,11 @@ package cut
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"dpals/internal/aig"
 	"dpals/internal/bitvec"
+	"dpals/internal/par"
 )
 
 // EncodeSink encodes PO index o as a cut element.
@@ -49,22 +51,42 @@ type Set struct {
 
 	// Stats of the last update.
 	LastRecomputed int
+
+	work int64 // atomic: cumulated work estimate in bitset word operations
 }
 
-// NewSet computes the disjoint cuts of all nodes of g.
-func NewSet(g *aig.Graph) *Set {
+// Work returns the cumulated deterministic work estimate of all cut
+// (re)computations on this set, in bitset word operations. Unlike wall-clock
+// time it is identical between runs regardless of thread count, machine, or
+// load; DP-SA's self-adaption profiles the analysis steps with it.
+func (s *Set) Work() int64 { return atomic.LoadInt64(&s.work) }
+
+// NewSet computes the disjoint cuts of all nodes of g. threads follows the
+// pipeline-wide semantics of package par (≤0: all CPUs, 1: serial); the
+// result is identical for every thread count.
+func NewSet(g *aig.Graph, threads int) *Set {
 	s := &Set{
 		g:       g,
 		poWords: bitvec.Words(g.NumPOs()),
 	}
 	s.grow()
 	s.tmp = bitvec.NewWords(s.poWords)
-	order := g.Topo()
-	for i := len(order) - 1; i >= 0; i-- {
-		v := order[i]
-		if g.IsAnd(v) {
-			s.recompute(v)
+	if par.Workers(threads) <= 1 {
+		order := g.Topo()
+		for i := len(order) - 1; i >= 0; i-- {
+			v := order[i]
+			if g.IsAnd(v) {
+				s.recompute(v)
+			}
 		}
+		return s
+	}
+	// recompute(v) only reads state of nodes in v's transitive fanout and
+	// only writes v's own entries, so the nodes of one reverse-topological
+	// level are independent: fan each level out, with a barrier between
+	// levels so fanout-side cuts are complete (and visible) before use.
+	for _, level := range g.ReverseLevels() {
+		par.ForEach(threads, level, func(_ int, v int32) { s.recompute(v) })
 	}
 	return s
 }
@@ -160,6 +182,11 @@ func (s *Set) successors(v int32) []int32 {
 // cuts must already be valid.
 func (s *Set) recompute(v int32) {
 	elems := s.successors(v)
+	// Work accounting: the reach union costs one poWords pass per
+	// successor, each conflict-scan pair one Intersects; counted locally
+	// and folded in with a single atomic add per node.
+	w := int64(1+len(elems)) * int64(s.poWords)
+	defer func() { atomic.AddInt64(&s.work, w) }()
 
 	// Reachability: union over successors.
 	if s.reach[v] == nil {
@@ -191,6 +218,7 @@ func (s *Set) recompute(v int32) {
 	scan:
 		for i := 0; i < len(elems); i++ {
 			for j := i + 1; j < len(elems); j++ {
+				w += int64(s.poWords)
 				if s.elemsIntersect(elems[i], elems[j]) {
 					ci, cj = i, j
 					break scan

@@ -45,7 +45,7 @@ func sortedCut(s *Set, v int32) []int32 {
 
 func TestFig2DisjointCut(t *testing.T) {
 	g, a, b, c, d, e, _ := fig2Graph(t)
-	s := NewSet(g)
+	s := NewSet(g, 1)
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestSingleFanoutCut(t *testing.T) {
 	y := g.And(x, p.Not())
 	z := g.And(y, q.Not())
 	g.AddPO(z, "o")
-	s := NewSet(g)
+	s := NewSet(g, 1)
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestIncrementalFig5(t *testing.T) {
 	if err := g.Check(); err != nil {
 		t.Fatal(err)
 	}
-	s := NewSet(g)
+	s := NewSet(g, 1)
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestIncrementalFig5(t *testing.T) {
 	if err := s.Validate(); err != nil {
 		t.Fatalf("after incremental update: %v", err)
 	}
-	fresh := NewSet(g)
+	fresh := NewSet(g, 1)
 	for _, v := range g.Topo() {
 		if !g.IsAnd(v) {
 			continue
@@ -192,7 +192,7 @@ func TestValidateRandomGraphs(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	for trial := 0; trial < 25; trial++ {
 		g := randomGraph(rng, 6, 60, 5)
-		s := NewSet(g)
+		s := NewSet(g, 1)
 		if err := s.Validate(); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -203,7 +203,7 @@ func TestIncrementalRandomSequences(t *testing.T) {
 	rng := rand.New(rand.NewSource(29))
 	for trial := 0; trial < 15; trial++ {
 		g := randomGraph(rng, 7, 80, 6)
-		s := NewSet(g)
+		s := NewSet(g, 1)
 		for step := 0; step < 12; step++ {
 			var cand []int32
 			for v := int32(1); v <= g.MaxVar(); v++ {
@@ -241,7 +241,7 @@ func TestIncrementalRandomSequences(t *testing.T) {
 				t.Fatalf("trial %d step %d: %v", trial, step, err)
 			}
 			// Cross-check against a fresh computation.
-			fresh := NewSet(g)
+			fresh := NewSet(g, 1)
 			for _, w := range g.Topo() {
 				if !g.IsAnd(w) {
 					continue
@@ -266,7 +266,7 @@ func BenchmarkNewSet(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		NewSet(g)
+		NewSet(g, 1)
 	}
 }
 
@@ -278,7 +278,7 @@ func BenchmarkIncrementalUpdate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		g := base.Clone()
-		s := NewSet(g)
+		s := NewSet(g, 1)
 		var v int32 = -1
 		for w := g.MaxVar(); w >= 1; w-- {
 			if g.IsAnd(w) {
@@ -289,5 +289,40 @@ func BenchmarkIncrementalUpdate(b *testing.B) {
 		cs := g.ReplaceWithLit(v, aig.False)
 		b.StartTimer()
 		s.UpdateAfter(cs)
+	}
+}
+
+// TestNewSetParallelMatchesSerial checks the bit-identity contract of the
+// parallel builder: for any thread count the cuts and reachability sets are
+// exactly those of the serial pass, element order included.
+func TestNewSetParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 6, 70, 5)
+		serial := NewSet(g, 1)
+		for _, threads := range []int{2, 8} {
+			par := NewSet(g, threads)
+			for v := int32(1); v <= g.MaxVar(); v++ {
+				if !g.IsAnd(v) {
+					continue
+				}
+				cs, cp := serial.Cut(v), par.Cut(v)
+				if len(cs) != len(cp) {
+					t.Fatalf("trial %d threads %d node %d: cut %v vs %v", trial, threads, v, cs, cp)
+				}
+				for i := range cs {
+					if cs[i] != cp[i] {
+						t.Fatalf("trial %d threads %d node %d: cut %v vs %v", trial, threads, v, cs, cp)
+					}
+				}
+				rs, rp := serial.Reach(v), par.Reach(v)
+				if (rs == nil) != (rp == nil) || (rs != nil && !rs.Equal(rp)) {
+					t.Fatalf("trial %d threads %d node %d: reach mismatch", trial, threads, v)
+				}
+			}
+			if err := par.Validate(); err != nil {
+				t.Fatalf("trial %d threads %d: %v", trial, threads, err)
+			}
+		}
 	}
 }

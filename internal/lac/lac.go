@@ -14,14 +14,14 @@ package lac
 
 import (
 	"math/bits"
-	"runtime"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"dpals/internal/aig"
 	"dpals/internal/bitvec"
 	"dpals/internal/cpm"
 	"dpals/internal/metric"
+	"dpals/internal/par"
 	"dpals/internal/sim"
 )
 
@@ -284,52 +284,50 @@ type NodeBest struct {
 
 // EvaluateTargets evaluates every candidate LAC for every target that has a
 // CPM row and returns per-node bests, sorted by ascending error (ties:
-// larger gain first). Candidate generation runs serially (it walks shared
-// graph traversal state); evaluation fans out over `threads` workers.
-func EvaluateTargets(gen *Generator, res *cpm.Result, st *metric.State, targets []int32, threads int) []NodeBest {
-	if threads <= 0 {
-		threads = 1
-	}
-	if threads > runtime.GOMAXPROCS(0) {
-		threads = runtime.GOMAXPROCS(0)
-	}
+// larger gain first), plus a deterministic work estimate of the evaluation
+// in bitvec word operations (the counterpart of cut.Set.Work and
+// cpm.Result.Work, used by DP-SA's self-adaption). Candidate generation
+// runs serially (it walks shared graph traversal state); evaluation fans
+// out over `threads` workers with the pipeline-wide semantics of package
+// par (≤0: all CPUs, 1: serial). Results are bit-identical for every
+// thread count: each worker evaluates whole targets with private scratch
+// and writes only its target's slot.
+func EvaluateTargets(gen *Generator, res *cpm.Result, st *metric.State, targets []int32, threads int) ([]NodeBest, int64) {
 	cands := make([][]LAC, len(targets))
 	for i, v := range targets {
 		if res.Has(v) {
 			cands[i] = gen.CandidatesFor(v)
 		}
 	}
+	var work int64
 	out := make([]NodeBest, len(targets))
-	var wg sync.WaitGroup
-	next := make(chan int, len(targets))
-	for i := range targets {
-		next <- i
-	}
-	close(next)
-	for w := 0; w < threads; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			ev := st.NewEvaluator()
-			D := bitvec.NewWords(gen.s.Words())
-			for i := range next {
-				v := targets[i]
-				nb := NodeBest{Node: v, Best: Eval{Err: -1}}
-				row := res.Row(v)
-				for _, cand := range cands[i] {
-					cand.DiffMask(gen.s, D)
-					e := ev.EvalLAC(D, row)
-					nb.N++
-					if nb.Best.Err < 0 || e < nb.Best.Err ||
-						(e == nb.Best.Err && cand.Gain > nb.Best.Gain) {
-						nb.Best = Eval{LAC: cand, Err: e}
-					}
-				}
-				out[i] = nb
+	workers := par.ScratchSlots(threads, len(targets))
+	evs := make([]*metric.Evaluator, workers)
+	masks := make([]bitvec.Vec, workers)
+	par.For(threads, len(targets), func(w, i int) {
+		if evs[w] == nil {
+			evs[w] = st.NewEvaluator()
+			masks[w] = bitvec.NewWords(gen.s.Words())
+		}
+		ev, D := evs[w], masks[w]
+		v := targets[i]
+		nb := NodeBest{Node: v, Best: Eval{Err: -1}}
+		row := res.Row(v)
+		// One words-wide pass for the diff mask plus one per row entry
+		// inspected, per candidate.
+		wk := int64(len(cands[i])) * int64(1+len(row.POs)) * int64(gen.s.Words())
+		for _, cand := range cands[i] {
+			cand.DiffMask(gen.s, D)
+			e := ev.EvalLAC(D, row)
+			nb.N++
+			if nb.Best.Err < 0 || e < nb.Best.Err ||
+				(e == nb.Best.Err && cand.Gain > nb.Best.Gain) {
+				nb.Best = Eval{LAC: cand, Err: e}
 			}
-		}()
-	}
-	wg.Wait()
+		}
+		out[i] = nb
+		atomic.AddInt64(&work, wk)
+	})
 	// Drop targets with no evaluated candidate, sort by error.
 	kept := out[:0]
 	for _, nb := range out {
@@ -346,5 +344,5 @@ func EvaluateTargets(gen *Generator, res *cpm.Result, st *metric.State, targets 
 		}
 		return kept[a].Node < kept[b].Node
 	})
-	return kept
+	return kept, work
 }

@@ -130,8 +130,8 @@ func TestEstimatedErrorMatchesRealAfterApply(t *testing.T) {
 			gg := g.Clone()
 			s := sim.New(gg, sim.Options{Patterns: patterns, Seed: int64(trial)})
 			st := metric.NewState(kind, exact, metric.UnsignedWeights(gg.NumPOs()), s.Patterns())
-			cuts := cut.NewSet(gg)
-			res := cpm.BuildDisjoint(gg, s, cuts, nil)
+			cuts := cut.NewSet(gg, 1)
+			res := cpm.BuildDisjoint(gg, s, cuts, nil, 1)
 			gen := NewGenerator(gg, s, Options{Constants: true, SASIMI: true, MaxPerNode: 4})
 
 			var targets []int32
@@ -140,7 +140,7 @@ func TestEstimatedErrorMatchesRealAfterApply(t *testing.T) {
 					targets = append(targets, v)
 				}
 			}
-			bests := EvaluateTargets(gen, res, st, targets, 2)
+			bests, _ := EvaluateTargets(gen, res, st, targets, 2)
 			if len(bests) == 0 {
 				continue
 			}
@@ -174,8 +174,8 @@ func TestEvaluateTargetsSorted(t *testing.T) {
 		s.POVal(o, exact[o])
 	}
 	st := metric.NewState(metric.MED, exact, metric.UnsignedWeights(g.NumPOs()), s.Patterns())
-	cuts := cut.NewSet(g)
-	res := cpm.BuildDisjoint(g, s, cuts, nil)
+	cuts := cut.NewSet(g, 1)
+	res := cpm.BuildDisjoint(g, s, cuts, nil, 1)
 	gen := NewGenerator(g, s, Options{Constants: true})
 	var targets []int32
 	for _, v := range g.Topo() {
@@ -183,16 +183,19 @@ func TestEvaluateTargetsSorted(t *testing.T) {
 			targets = append(targets, v)
 		}
 	}
-	bests := EvaluateTargets(gen, res, st, targets, 4)
+	bests, pwork := EvaluateTargets(gen, res, st, targets, 4)
 	for i := 1; i < len(bests); i++ {
 		if bests[i-1].Best.Err > bests[i].Best.Err {
 			t.Fatalf("results not sorted at %d: %v > %v", i, bests[i-1].Best.Err, bests[i].Best.Err)
 		}
 	}
-	// Serial and parallel must agree.
-	serial := EvaluateTargets(gen, res, st, targets, 1)
+	// Serial and parallel must agree, including the work estimate.
+	serial, swork := EvaluateTargets(gen, res, st, targets, 1)
 	if len(serial) != len(bests) {
 		t.Fatalf("serial/parallel length mismatch")
+	}
+	if swork != pwork || swork <= 0 {
+		t.Fatalf("work estimate not scheduling-independent: serial %d, parallel %d", swork, pwork)
 	}
 	for i := range serial {
 		if serial[i].Node != bests[i].Node || serial[i].Best.Err != bests[i].Best.Err {

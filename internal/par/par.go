@@ -1,0 +1,92 @@
+// Package par is the shared worker-pool helper of the analysis pipeline.
+// The simulator (sim), disjoint-cut builder (cut), change-propagation-
+// matrix builders (cpm) and LAC evaluator (lac) all fan their independent
+// per-item work out through this package instead of hand-rolling
+// goroutine and chunking logic, so a thread count means the same thing
+// everywhere:
+//
+//	threads ≤ 0  →  runtime.GOMAXPROCS(0) workers (use every CPU)
+//	threads == 1 →  serial, on the calling goroutine
+//	threads > 1  →  that many workers
+//
+// Requesting more workers than CPUs is allowed (they time-share); a pool
+// never uses more workers than there are items. Results must be collected
+// into index-addressed slots — every fan-out here hands the callback the
+// item index, so writing out[i] from the worker that processed item i
+// yields output that is bit-identical to a serial pass regardless of the
+// worker count or scheduling order.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a Threads option value to an effective worker count:
+// ≤ 0 selects runtime.GOMAXPROCS(0), anything else is returned as-is.
+// This is the single clamp site for the whole pipeline.
+func Workers(threads int) int {
+	if threads <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return threads
+}
+
+// For runs fn(worker, i) for every i in [0, n), fanned out over
+// Workers(threads) workers (never more than n), and returns when all
+// calls have finished. Items are handed out dynamically, so callers must
+// not rely on any processing order — only on the per-index results they
+// write. With an effective worker count of 1 everything runs on the
+// calling goroutine in index order, with zero synchronisation.
+//
+// The worker argument is in [0, effective workers) and is stable for the
+// lifetime of one goroutine, making it safe to index per-worker scratch
+// allocated with one slot per worker (see ScratchSlots).
+func For(threads, n int, fn func(worker, i int)) {
+	workers := Workers(threads)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForEach is For over a slice: fn(worker, item) for every item.
+func ForEach[T any](threads int, items []T, fn func(worker int, item T)) {
+	For(threads, len(items), func(w, i int) { fn(w, items[i]) })
+}
+
+// ScratchSlots returns the number of per-worker scratch slots a caller
+// needs for For/ForEach runs over up to n items: min(Workers(threads), n),
+// at least 1.
+func ScratchSlots(threads, n int) int {
+	workers := Workers(threads)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}

@@ -1,0 +1,104 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersSemantics(t *testing.T) {
+	gmp := runtime.GOMAXPROCS(0)
+	for _, tc := range []struct{ in, want int }{
+		{-3, gmp}, {0, gmp}, {1, 1}, {2, 2}, {64, 64},
+	} {
+		if got := Workers(tc.in); got != tc.want {
+			t.Errorf("Workers(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, threads := range []int{1, 2, 7, 0} {
+		const n = 1000
+		hits := make([]int32, n)
+		For(threads, n, func(_, i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("threads=%d: index %d processed %d times", threads, i, h)
+			}
+		}
+	}
+}
+
+func TestForSerialRunsInOrder(t *testing.T) {
+	var order []int
+	For(1, 5, func(w, i int) {
+		if w != 0 {
+			t.Errorf("serial run used worker %d", w)
+		}
+		order = append(order, i)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order broken: %v", order)
+		}
+	}
+}
+
+func TestForWorkerIDsAreDistinctSlots(t *testing.T) {
+	const threads, n = 4, 256
+	slots := ScratchSlots(threads, n)
+	if slots != 4 {
+		t.Fatalf("ScratchSlots(4, 256) = %d", slots)
+	}
+	// Each worker increments only its own slot; sums must add up to n and
+	// no out-of-range worker id may appear (panic would fail the test).
+	counts := make([]int64, slots)
+	For(threads, n, func(w, _ int) { atomic.AddInt64(&counts[w], 1) })
+	var sum int64
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != n {
+		t.Fatalf("worker slot counts sum to %d, want %d", sum, n)
+	}
+}
+
+func TestForMoreWorkersThanItems(t *testing.T) {
+	if got := ScratchSlots(16, 3); got != 3 {
+		t.Errorf("ScratchSlots(16, 3) = %d, want 3", got)
+	}
+	hits := make([]int32, 3)
+	For(16, 3, func(w, i int) {
+		if w < 0 || w >= 3 {
+			t.Errorf("worker id %d out of range for 3 items", w)
+		}
+		atomic.AddInt32(&hits[i], 1)
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Errorf("index %d processed %d times", i, h)
+		}
+	}
+}
+
+func TestForEmpty(t *testing.T) {
+	For(0, 0, func(_, _ int) { t.Error("fn called for n=0") })
+	ForEach(4, []int(nil), func(_ int, _ int) { t.Error("fn called for empty slice") })
+	if got := ScratchSlots(8, 0); got != 1 {
+		t.Errorf("ScratchSlots(8, 0) = %d, want 1", got)
+	}
+}
+
+func TestForEachPassesItems(t *testing.T) {
+	items := []string{"a", "b", "c", "d"}
+	seen := make([]int32, len(items))
+	ForEach(2, items, func(_ int, it string) {
+		atomic.AddInt32(&seen[int(it[0]-'a')], 1)
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Errorf("item %d seen %d times", i, c)
+		}
+	}
+}

@@ -8,11 +8,10 @@ package sim
 
 import (
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"dpals/internal/aig"
 	"dpals/internal/bitvec"
+	"dpals/internal/par"
 )
 
 // Distribution fills the pattern words of one primary input. Implementations
@@ -95,10 +94,14 @@ func (Exhaustive) Fill(pi int, v bitvec.Vec, _ *rand.Rand) {
 
 // Options configures a simulator.
 type Options struct {
-	Patterns int          // number of Monte-Carlo patterns (rounded up to 64)
-	Seed     int64        // RNG seed for reproducibility
-	Threads  int          // worker goroutines for full resimulation; ≤1 disables
-	Dist     Distribution // input distribution; nil means Uniform
+	Patterns int   // number of Monte-Carlo patterns (rounded up to 64)
+	Seed     int64 // RNG seed for reproducibility
+	// Threads is the worker count for full resimulation, with the
+	// pipeline-wide semantics of package par: ≤0 selects all CPUs
+	// (runtime.GOMAXPROCS), 1 runs serially. Resolved once, here; results
+	// are bit-identical for every value.
+	Threads int
+	Dist    Distribution // input distribution; nil means Uniform
 }
 
 // Sim holds simulation state for one graph. The value vectors track the
@@ -129,7 +132,7 @@ func New(g *aig.Graph, opt Options) *Sim {
 		g:        g,
 		patterns: patterns,
 		words:    words,
-		threads:  opt.Threads,
+		threads:  par.Workers(opt.Threads),
 		val:      make([]bitvec.Vec, g.NumVars()),
 		dirty:    make([]bool, g.NumVars()),
 		scratch:  bitvec.NewWords(words),
@@ -212,8 +215,9 @@ func (s *Sim) evalNode(v int32, lo, hi int) {
 	}
 }
 
-// Resimulate recomputes every node value from the PIs. With Threads > 1 the
-// word range is split across workers (node values are independent per word).
+// Resimulate recomputes every node value from the PIs. With more than one
+// worker the word range is split across workers (node values are
+// independent per word), yielding bit-identical results to a serial pass.
 func (s *Sim) Resimulate() {
 	order := s.g.Topo()
 	for _, v := range order {
@@ -233,31 +237,22 @@ func (s *Sim) Resimulate() {
 		}
 		return
 	}
-	if nw > runtime.GOMAXPROCS(0)*2 {
-		nw = runtime.GOMAXPROCS(0) * 2
-	}
-	var wg sync.WaitGroup
 	chunk := (s.words + nw - 1) / nw
-	for w := 0; w < nw; w++ {
+	par.For(nw, nw, func(_, w int) {
 		lo := w * chunk
 		hi := lo + chunk
 		if hi > s.words {
 			hi = s.words
 		}
 		if lo >= hi {
-			break
+			return
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for _, v := range order {
-				if s.g.Type(v) == aig.TypeAnd {
-					s.evalNode(v, lo, hi)
-				}
+		for _, v := range order {
+			if s.g.Type(v) == aig.TypeAnd {
+				s.evalNode(v, lo, hi)
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		}
+	})
 }
 
 // ResimulateFrom incrementally recomputes values after a structural change.
