@@ -6,11 +6,14 @@
 package dpals_test
 
 import (
+	"encoding/json"
 	"io"
+	"os"
 	"runtime"
 	"testing"
 	"time"
 
+	"dpals"
 	"dpals/internal/bitvec"
 	"dpals/internal/cpm"
 	"dpals/internal/cut"
@@ -194,6 +197,131 @@ func BenchmarkComprehensiveAnalysis(b *testing.B) {
 	}
 	if parTotal > 0 {
 		b.ReportMetric(float64(serialTotal)/float64(parTotal), "speedup_x")
+	}
+}
+
+// BenchmarkDualPhase measures a full dual-phase run (one comprehensive
+// analysis plus the phase-2 incremental iterations) on a ~5k-AND circuit,
+// with the persistent incremental CPM cache ("cache") and with the
+// pre-cache from-scratch rebuild every phase-2 iteration ("rebuild"). Both
+// modes are verified to produce identical results before timing starts.
+// After the run the measurements are written to results/BENCH_phase2.json
+// (ns/op, allocs/op, rows recomputed per phase-2 iteration, reuse rate) so
+// the perf trajectory is machine-readable.
+func BenchmarkDualPhase(b *testing.B) {
+	c := dpals.NewVecMul(4, 10) // 4730 AND nodes
+	if n := c.NumGates(); n < 4000 {
+		b.Fatalf("benchmark circuit too small: %d ANDs", n)
+	}
+	opts := func(noCache bool) dpals.Options {
+		return dpals.Options{
+			Flow: dpals.DP, Metric: dpals.MSE,
+			Threshold: dpals.ReferenceError(c) * dpals.ReferenceError(c),
+			Patterns:  1024, Seed: 1, Threads: 1,
+			UseConstLACs: true, MaxIters: 24,
+			NoCPMCache: noCache,
+		}
+	}
+	// Self-check: the cache must not change the synthesis result.
+	withCache, err := dpals.Approximate(c, opts(false))
+	if err != nil {
+		b.Fatal(err)
+	}
+	withoutCache, err := dpals.Approximate(c, opts(true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if withCache.Error != withoutCache.Error ||
+		withCache.Stats.Applied != withoutCache.Stats.Applied ||
+		withCache.Circuit.NumGates() != withoutCache.Circuit.NumGates() {
+		b.Fatalf("cache changed the result: error %g vs %g, applied %d vs %d, gates %d vs %d",
+			withCache.Error, withoutCache.Error,
+			withCache.Stats.Applied, withoutCache.Stats.Applied,
+			withCache.Circuit.NumGates(), withoutCache.Circuit.NumGates())
+	}
+
+	type modeResult struct {
+		NsPerOp     int64   `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+		RowsReused  int64   `json:"cpm_rows_reused"`
+		RowsRecomp  int64   `json:"cpm_rows_recomputed"`
+		RowsPerIter float64 `json:"rows_recomputed_per_phase2_iter"`
+		ReuseRate   float64 `json:"reuse_rate"`
+		Phase2Iters int     `json:"phase2_iters"`
+		AppliedLACs int     `json:"applied_lacs"`
+	}
+	results := map[string]*modeResult{}
+
+	for _, mode := range []struct {
+		name    string
+		noCache bool
+	}{{"cache", false}, {"rebuild", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var ms0, ms1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			var last *dpals.Result
+			for i := 0; i < b.N; i++ {
+				res, err := dpals.Approximate(c, opts(mode.noCache))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&ms1)
+			mr := &modeResult{
+				NsPerOp:     elapsed.Nanoseconds() / int64(b.N),
+				AllocsPerOp: int64(ms1.Mallocs-ms0.Mallocs) / int64(b.N),
+				BytesPerOp:  int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(b.N),
+				RowsReused:  last.Stats.CPMRowsReused,
+				RowsRecomp:  last.Stats.CPMRowsRecomputed,
+				ReuseRate:   last.Stats.ReuseRate(),
+				Phase2Iters: last.Stats.Incremental,
+				AppliedLACs: last.Stats.Applied,
+			}
+			if last.Stats.Incremental > 0 {
+				// Phase-2 recompute volume: total recomputed minus the
+				// comprehensive passes' full rebuilds is not separable from
+				// Stats alone in rebuild mode, so report the overall mean.
+				mr.RowsPerIter = float64(mr.RowsRecomp) / float64(last.Stats.Incremental+last.Stats.Comprehensive)
+			}
+			b.ReportMetric(100*mr.ReuseRate, "reuse_%")
+			b.ReportMetric(mr.RowsPerIter, "rows_recomputed/analysis")
+			results[mode.name] = mr
+		})
+	}
+
+	if results["cache"] != nil && results["rebuild"] != nil {
+		payload := struct {
+			Circuit     string                 `json:"circuit"`
+			Gates       int                    `json:"gates"`
+			Patterns    int                    `json:"patterns"`
+			MaxIters    int                    `json:"max_iters"`
+			Modes       map[string]*modeResult `json:"modes"`
+			SpeedupX    float64                `json:"speedup_x"`
+			AllocsRatio float64                `json:"allocs_ratio"`
+		}{
+			Circuit: "vecmul4x10", Gates: c.NumGates(), Patterns: 1024, MaxIters: 24,
+			Modes: results,
+		}
+		if ns := results["cache"].NsPerOp; ns > 0 {
+			payload.SpeedupX = float64(results["rebuild"].NsPerOp) / float64(ns)
+		}
+		if a := results["cache"].AllocsPerOp; a > 0 {
+			payload.AllocsRatio = float64(results["rebuild"].AllocsPerOp) / float64(a)
+		}
+		data, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("results/BENCH_phase2.json", append(data, '\n'), 0o644); err != nil {
+			b.Logf("could not write results/BENCH_phase2.json: %v", err)
+		}
 	}
 }
 

@@ -11,9 +11,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"dpals"
@@ -31,6 +34,10 @@ func main() {
 	depth := flag.Int("l", 0, "VECBEE depth limit (0 = exact)")
 	out := flag.String("o", "", "output file (.blif or .aag); empty: no output written")
 	maxIters := flag.Int("max-iters", 0, "cap on applied LACs (0 = unlimited)")
+	noCache := flag.Bool("no-cpm-cache", false, "disable the incremental CPM cache (A/B baseline)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file (taken after the run)")
+	statsOut := flag.String("stats", "", "write run statistics (step times, work counters, MTrace, reuse rate) as JSON to this file")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -72,13 +79,33 @@ func main() {
 		flag.Arg(0), c.NumInputs(), c.NumOutputs(), c.NumGates(), c.Depth())
 	fmt.Printf("flow  : %v  metric %v ≤ %g  patterns %d  threads %d\n", flow, m, thr, *patterns, par.Workers(*threads))
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		check(err)
+		defer f.Close()
+		check(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
+
 	res, err := dpals.Approximate(c, dpals.Options{
 		Flow: flow, Metric: m, Threshold: thr,
 		Patterns: *patterns, Seed: *seed, Threads: *threads,
 		UseConstLACs: true, UseSASIMILACs: *sasimi,
 		DepthLimit: *depth, MaxIters: *maxIters,
+		NoCPMCache: *noCache,
 	})
 	check(err)
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		check(err)
+		runtime.GC() // materialize the retained heap before the snapshot
+		check(pprof.WriteHeapProfile(f))
+		f.Close()
+	}
+	if *statsOut != "" {
+		check(writeStats(*statsOut, flow, m, thr, res))
+	}
 
 	fmt.Printf("result: %d gates (%.1f%% of original), error %g\n",
 		res.Circuit.NumGates(), 100*float64(res.Circuit.NumGates())/float64(c.NumGates()), res.Error)
@@ -88,6 +115,10 @@ func main() {
 		res.Stats.Applied, res.Stats.Comprehensive, res.Stats.Incremental, res.Stats.Rollbacks, res.Stats.Runtime)
 	fmt.Printf("        step times: cuts %v, CPM %v, evaluation %v\n",
 		res.Stats.CutTime, res.Stats.CPMTime, res.Stats.EvalTime)
+	if res.Stats.CPMRowsReused+res.Stats.CPMRowsRecomputed > 0 {
+		fmt.Printf("        CPM rows: %d reused, %d recomputed (%.1f%% reuse)\n",
+			res.Stats.CPMRowsReused, res.Stats.CPMRowsRecomputed, 100*res.Stats.ReuseRate())
+	}
 
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -105,6 +136,79 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+}
+
+// runStats is the JSON schema written by -stats: run configuration, final
+// quality, step-time and deterministic step-work profiles, CPM cache reuse,
+// and the DP-SA MTrace.
+type runStats struct {
+	Flow      string  `json:"flow"`
+	Metric    string  `json:"metric"`
+	Threshold float64 `json:"threshold"`
+	Error     float64 `json:"error"`
+	Gates     int     `json:"gates"`
+	AreaRatio float64 `json:"area_ratio"`
+	ADPRatio  float64 `json:"adp_ratio"`
+
+	Applied       int   `json:"applied"`
+	Comprehensive int   `json:"comprehensive"`
+	Incremental   int   `json:"incremental"`
+	Rollbacks     int   `json:"rollbacks"`
+	RuntimeNS     int64 `json:"runtime_ns"`
+	CutTimeNS     int64 `json:"cut_time_ns"`
+	CPMTimeNS     int64 `json:"cpm_time_ns"`
+	EvalTimeNS    int64 `json:"eval_time_ns"`
+
+	CutWork  int64 `json:"cut_work"`
+	CPMWork  int64 `json:"cpm_work"`
+	EvalWork int64 `json:"eval_work"`
+
+	CPMRowsReused     int64   `json:"cpm_rows_reused"`
+	CPMRowsRecomputed int64   `json:"cpm_rows_recomputed"`
+	ReuseRate         float64 `json:"reuse_rate"`
+
+	MTrace []int `json:"m_trace,omitempty"`
+}
+
+func writeStats(path string, flow dpals.Flow, m dpals.Metric, thr float64, res *dpals.Result) error {
+	s := runStats{
+		Flow:      flow.String(),
+		Metric:    m.String(),
+		Threshold: thr,
+		Error:     res.Error,
+		Gates:     res.Circuit.NumGates(),
+		AreaRatio: res.AreaRatio,
+		ADPRatio:  res.ADPRatio,
+
+		Applied:       res.Stats.Applied,
+		Comprehensive: res.Stats.Comprehensive,
+		Incremental:   res.Stats.Incremental,
+		Rollbacks:     res.Stats.Rollbacks,
+		RuntimeNS:     res.Stats.Runtime.Nanoseconds(),
+		CutTimeNS:     res.Stats.CutTime.Nanoseconds(),
+		CPMTimeNS:     res.Stats.CPMTime.Nanoseconds(),
+		EvalTimeNS:    res.Stats.EvalTime.Nanoseconds(),
+
+		CutWork:  res.Stats.CutWork,
+		CPMWork:  res.Stats.CPMWork,
+		EvalWork: res.Stats.EvalWork,
+
+		CPMRowsReused:     res.Stats.CPMRowsReused,
+		CPMRowsRecomputed: res.Stats.CPMRowsRecomputed,
+		ReuseRate:         res.Stats.ReuseRate(),
+
+		MTrace: res.Stats.MTrace,
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 func load(path string) (*dpals.Circuit, error) {

@@ -285,6 +285,12 @@ type Options struct {
 	DepthLimit int // VECBEE depth limit l (0 = ∞)
 	M, N       int // dual-phase parameters (0 = paper defaults)
 	MaxIters   int // cap on applied LACs (0 = unlimited)
+
+	// NoCPMCache disables the persistent incremental CPM cache of the
+	// dual-phase flows, rebuilding the phase-2 CPM from scratch every
+	// iteration. Results are bit-identical either way; for A/B
+	// benchmarking only.
+	NoCPMCache bool
 }
 
 // Stats reports what a run did.
@@ -304,6 +310,26 @@ type Stats struct {
 	CutWork  int64
 	CPMWork  int64
 	EvalWork int64
+
+	// CPM cache accounting (dual-phase flows): rows served from the
+	// persistent incremental cache versus recomputed, across all analyses
+	// of the run. Zero when the cache is disabled or unused by the flow.
+	CPMRowsReused     int64
+	CPMRowsRecomputed int64
+
+	// MTrace is the DP-SA self-adaption trajectory: the candidate-set size
+	// M after each dual-phase round. Nil for other flows.
+	MTrace []int
+}
+
+// ReuseRate returns the fraction of needed CPM rows that were served from
+// the incremental cache (0 when the cache saw no rows).
+func (s Stats) ReuseRate() float64 {
+	total := s.CPMRowsReused + s.CPMRowsRecomputed
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CPMRowsReused) / float64(total)
 }
 
 // Result of Approximate.
@@ -337,6 +363,7 @@ func Approximate(c *Circuit, opt Options) (*Result, error) {
 	iopt.DepthLimit = opt.DepthLimit
 	iopt.M, iopt.N = opt.M, opt.N
 	iopt.MaxIters = opt.MaxIters
+	iopt.NoCPMCache = opt.NoCPMCache
 	iopt.LACs = lac.Options{
 		Constants:  opt.UseConstLACs,
 		SASIMI:     opt.UseSASIMILACs,
@@ -363,17 +390,20 @@ func Approximate(c *Circuit, opt Options) (*Result, error) {
 		Error:    res.Error,
 		ADPRatio: techmap.ADPRatio(ma, mo),
 		Stats: Stats{
-			Applied:       res.Stats.Applied,
-			Comprehensive: res.Stats.Phase1,
-			Incremental:   res.Stats.Phase2,
-			Rollbacks:     res.Stats.Rollbacks,
-			Runtime:       res.Stats.Runtime,
-			CutTime:       res.Stats.Step.Cuts,
-			CPMTime:       res.Stats.Step.CPM,
-			EvalTime:      res.Stats.Step.Eval,
-			CutWork:       res.Stats.Work.Cuts,
-			CPMWork:       res.Stats.Work.CPM,
-			EvalWork:      res.Stats.Work.Eval,
+			Applied:           res.Stats.Applied,
+			Comprehensive:     res.Stats.Phase1,
+			Incremental:       res.Stats.Phase2,
+			Rollbacks:         res.Stats.Rollbacks,
+			Runtime:           res.Stats.Runtime,
+			CutTime:           res.Stats.Step.Cuts,
+			CPMTime:           res.Stats.Step.CPM,
+			EvalTime:          res.Stats.Step.Eval,
+			CutWork:           res.Stats.Work.Cuts,
+			CPMWork:           res.Stats.Work.CPM,
+			EvalWork:          res.Stats.Work.Eval,
+			CPMRowsReused:     res.Stats.Work.CPMRowsReused,
+			CPMRowsRecomputed: res.Stats.Work.CPMRowsRecomputed,
+			MTrace:            res.Stats.MTrace,
 		},
 	}
 	if mo.Area > 0 {

@@ -1,0 +1,71 @@
+package bitvec
+
+import "sync"
+
+// Pool is a free list of equally-sized vectors. The CPM cache recycles the
+// diff vectors of invalidated rows through a Pool instead of releasing them
+// to the garbage collector, so steady-state phase-2 iterations of the
+// dual-phase flows allocate near zero.
+//
+// Get returns a vector with ARBITRARY content — callers must fully
+// overwrite it (every consumer in package cpm writes all words of a diff
+// vector before publishing it). Put hands a vector back; the caller must
+// not retain any reference to it afterwards.
+//
+// A Pool is safe for concurrent use. Whether a vector comes from the free
+// list or from a fresh allocation never changes computed results, so
+// pooled builds stay bit-identical to unpooled ones.
+type Pool struct {
+	words int
+
+	mu   sync.Mutex
+	free []Vec
+
+	gets   int64 // vectors handed out
+	reuses int64 // … of which came from the free list
+}
+
+// NewPool returns a pool of vectors of w words each.
+func NewPool(w int) *Pool { return &Pool{words: w} }
+
+// Words returns the word length of the pool's vectors.
+func (p *Pool) Words() int { return p.words }
+
+// Get returns a vector of the pool's word length. Its content is
+// unspecified; the caller must overwrite every word it reads back.
+func (p *Pool) Get() Vec {
+	p.mu.Lock()
+	p.gets++
+	if n := len(p.free); n > 0 {
+		v := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.reuses++
+		p.mu.Unlock()
+		return v
+	}
+	p.mu.Unlock()
+	return NewWords(p.words)
+}
+
+// Put recycles v into the free list. v must have the pool's word length and
+// must not be used by the caller afterwards. Put(nil) is a no-op.
+func (p *Pool) Put(v Vec) {
+	if v == nil {
+		return
+	}
+	if len(v) != p.words {
+		panic("bitvec: Pool.Put of a vector with the wrong word length")
+	}
+	p.mu.Lock()
+	p.free = append(p.free, v)
+	p.mu.Unlock()
+}
+
+// Stats reports how many vectors Get handed out and how many of those were
+// recycled from the free list (the rest were fresh allocations).
+func (p *Pool) Stats() (gets, reuses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gets, p.reuses
+}

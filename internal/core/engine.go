@@ -7,6 +7,7 @@ import (
 
 	"dpals/internal/aig"
 	"dpals/internal/bitvec"
+	"dpals/internal/cpm"
 	"dpals/internal/cut"
 	"dpals/internal/lac"
 	"dpals/internal/metric"
@@ -77,7 +78,8 @@ type engine struct {
 	g     *aig.Graph
 	s     *sim.Sim
 	st    *metric.State
-	cuts  *cut.Set // nil for VECBEE flows
+	cuts  *cut.Set   // nil for VECBEE flows
+	cache *cpm.Cache // persistent incremental CPM (dual-phase flows; nil when disabled)
 	gen   *lac.Generator
 	exact []bitvec.Vec
 	stats Stats
@@ -158,7 +160,9 @@ func (e *engine) liveTargets() []int32 {
 // index. It returns the change set.
 func (e *engine) apply(l lac.LAC) aig.ChangeSet {
 	cs := e.g.ReplaceWithLit(l.Target, l.NewLit)
-	e.s.ResimulateFrom(cs.Rewired)
+	// changed is simulator-owned scratch, valid only until the next
+	// ResimulateFrom call — consumed below before anything resimulates.
+	changed := e.s.ResimulateFrom(cs.Rewired)
 	for o := 0; o < e.g.NumPOs(); o++ {
 		e.s.POVal(o, e.poScratch)
 		e.st.CommitPO(o, e.poScratch)
@@ -166,9 +170,12 @@ func (e *engine) apply(l lac.LAC) aig.ChangeSet {
 	if e.cuts != nil && e.incCuts {
 		t0 := time.Now()
 		w0 := e.cuts.Work()
-		e.cuts.UpdateAfter(cs)
+		sv := e.cuts.UpdateAfter(cs)
 		e.stats.Step.Cuts += time.Since(t0)
 		e.stats.Work.Cuts += e.cuts.Work() - w0
+		if e.cache != nil {
+			e.cache.Invalidate(cs, changed, sv)
+		}
 	}
 	e.gen.Reindex()
 	e.stats.Applied++
@@ -204,7 +211,8 @@ func (e *engine) restore(sn snapshot) {
 		e.s.POVal(o, e.poScratch)
 		e.st.CommitPO(o, e.poScratch)
 	}
-	e.cuts = nil // next comprehensive pass rebuilds the cuts
+	e.cuts = nil  // next comprehensive pass rebuilds the cuts
+	e.cache = nil // the cache is bound to the replaced graph/simulator
 	e.gen = lac.NewGenerator(e.g, e.s, e.opt.LACs)
 	e.stats.Rollbacks++
 }

@@ -9,19 +9,39 @@ import (
 	"dpals/internal/lac"
 )
 
+// useCache reports whether the persistent incremental CPM cache is active:
+// dual-phase flows only (the other flows have no phase-2 rows to reuse),
+// unless disabled for A/B comparison.
+func (e *engine) useCache() bool {
+	return (e.opt.Flow == FlowDP || e.opt.Flow == FlowDPSA) && !e.opt.NoCPMCache
+}
+
 // comprehensive performs the full error analysis of Fig. 3(b): fresh
 // disjoint cuts, full CPM, evaluation of every candidate LAC. It returns
-// the per-node bests sorted by ascending error.
+// the per-node bests sorted by ascending error. With the CPM cache active
+// the full build runs through cpm.Cache.Rebuild — bit-identical rows, but
+// recycled vector memory and rows that stay live for phase 2.
 func (e *engine) comprehensive() []lac.NodeBest {
 	t0 := time.Now()
 	e.cuts = cut.NewSet(e.g, e.opt.Threads)
 	t1 := time.Now()
 	e.stats.Step.Cuts += t1.Sub(t0)
 	e.stats.Work.Cuts += e.cuts.Work()
-	res := cpm.BuildDisjoint(e.g, e.s, e.cuts, nil, e.opt.Threads)
+	var res *cpm.Result
+	if e.useCache() {
+		if e.cache == nil {
+			e.cache = cpm.NewCache(e.g, e.s)
+		}
+		upd := e.cache.Rebuild(e.cuts, e.opt.Threads)
+		res = upd.Res
+		e.stats.Work.CPM += upd.Work
+		e.stats.Work.CPMRowsRecomputed += int64(upd.Recomputed)
+	} else {
+		res = cpm.BuildDisjoint(e.g, e.s, e.cuts, nil, e.opt.Threads)
+		e.stats.Work.CPM += res.Work
+	}
 	t2 := time.Now()
 	e.stats.Step.CPM += t2.Sub(t1)
-	e.stats.Work.CPM += res.Work
 	bests, ew := lac.EvaluateTargets(e.gen, res, e.st, e.liveTargets(), e.opt.Threads)
 	e.stats.Step.Eval += time.Since(t2)
 	e.stats.Work.Eval += ew
@@ -236,10 +256,22 @@ func (e *engine) runDualPhase(selfAdapt bool) {
 				break
 			}
 			t1 := time.Now()
-			res := cpm.BuildDisjoint(e.g, e.s, e.cuts, scand, e.opt.Threads)
+			// Incremental analysis: serve the closure of S_cand from the
+			// cache, recomputing only rows invalidated since the last
+			// analysis — §III-C's reuse, bit-identical to a full rebuild.
+			var res *cpm.Result
+			if e.cache != nil {
+				upd := e.cache.Rows(scand, e.opt.Threads)
+				res = upd.Res
+				e.stats.Work.CPM += upd.Work
+				e.stats.Work.CPMRowsReused += int64(upd.Reused)
+				e.stats.Work.CPMRowsRecomputed += int64(upd.Recomputed)
+			} else {
+				res = cpm.BuildDisjoint(e.g, e.s, e.cuts, scand, e.opt.Threads)
+				e.stats.Work.CPM += res.Work
+			}
 			t2 := time.Now()
 			e.stats.Step.CPM += t2.Sub(t1)
-			e.stats.Work.CPM += res.Work
 			bests2, ew := lac.EvaluateTargets(e.gen, res, e.st, scand, e.opt.Threads)
 			e.stats.Step.Eval += time.Since(t2)
 			e.stats.Work.Eval += ew

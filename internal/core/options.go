@@ -103,6 +103,12 @@ type Options struct {
 	// MaxIters caps the number of applied LACs (safety; ≤0 = unlimited).
 	MaxIters int
 
+	// NoCPMCache disables the persistent incremental CPM cache of the
+	// dual-phase flows and rebuilds the phase-2 CPM from scratch every
+	// iteration (the pre-cache behaviour). Results are bit-identical either
+	// way; the switch exists for A/B benchmarking and differential tests.
+	NoCPMCache bool
+
 	// OnIteration, when non-nil, observes every applied LAC: the 1-based
 	// iteration number, the chosen candidate, and the full sorted
 	// evaluation of the iteration (phase-2 iterations only see the
@@ -151,6 +157,16 @@ type StepWork struct {
 	Cuts int64
 	CPM  int64
 	Eval int64
+
+	// CPM cache row accounting (dual-phase flows with the incremental
+	// cache): how many of the rows needed by the analyses were served from
+	// the cache versus recomputed. Comprehensive passes recompute every
+	// row; phase-2 iterations reuse whatever the applied LACs did not
+	// invalidate. The reuse rate is CPMRowsReused / (CPMRowsReused +
+	// CPMRowsRecomputed). Deterministic like the work counters; not part
+	// of Total.
+	CPMRowsReused     int64
+	CPMRowsRecomputed int64
 }
 
 // Total returns the summed step work.

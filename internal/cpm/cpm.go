@@ -99,6 +99,17 @@ type regionSimulator struct {
 	epoch    uint32
 	scratch  []bitvec.Vec
 	region   []int32
+	local    bitvec.Vec // scratch for one element-local diff at a time
+}
+
+// localDiff returns the worker-private scratch vector used to hold the
+// local Boolean difference at one cut element. Only one element is
+// assembled at a time, so a single vector per worker suffices.
+func (rs *regionSimulator) localDiff() bitvec.Vec {
+	if rs.local == nil {
+		rs.local = bitvec.NewWords(rs.words)
+	}
+	return rs.local
 }
 
 // topoPositions returns the topological position of every variable,
@@ -241,7 +252,27 @@ type disjointBuilder struct {
 	cuts *cut.Set
 	res  *Result
 	keep []bool
-	refs []int32 // atomic: still-unprocessed consumers per row
+	refs []int32      // atomic: still-unprocessed consumers per row; nil: keep every row
+	pool *bitvec.Pool // diff-vector allocator; nil: plain allocation
+}
+
+// newVec returns a zero-or-garbage diff vector; every caller fully
+// overwrites it before publishing.
+func (b *disjointBuilder) newVec() bitvec.Vec {
+	if b.pool != nil {
+		return b.pool.Get()
+	}
+	return bitvec.NewWords(b.res.Words)
+}
+
+// release frees the row of v, recycling its vectors when pooled.
+func (b *disjointBuilder) release(v int32) {
+	if b.pool != nil {
+		for _, d := range b.res.rows[v].Diffs {
+			b.pool.Put(d)
+		}
+	}
+	b.res.rows[v] = Row{}
 }
 
 // processNode computes the CPM row of v. All of v's non-sink cut elements
@@ -275,19 +306,19 @@ func (b *disjointBuilder) processNode(rs *regionSimulator, cutSet map[int32]bool
 			// difference observed at the PO driver (all-ones when v
 			// drives o itself).
 			o := cut.SinkPO(e)
-			d := bitvec.NewWords(b.res.Words)
+			d := b.newVec()
 			rs.diffAt(b.g.PO(o).Var(), d)
 			row.POs = append(row.POs, int32(o))
 			row.Diffs = append(row.Diffs, d)
 			w += int64(b.res.Words)
 			continue
 		}
-		local := bitvec.NewWords(b.res.Words)
+		local := rs.localDiff()
 		rs.diffAt(e, local)
 		erow := &b.res.rows[e]
 		w += int64(1+len(erow.POs)) * int64(b.res.Words)
 		for i, o := range erow.POs {
-			d := bitvec.NewWords(b.res.Words)
+			d := b.newVec()
 			d.And(erow.Diffs[i], local)
 			row.POs = append(row.POs, o)
 			row.Diffs = append(row.Diffs, d)
@@ -295,14 +326,15 @@ func (b *disjointBuilder) processNode(rs *regionSimulator, cutSet map[int32]bool
 		// Release the element row once its last consumer is done. The
 		// decrement comes after the reads above, so the consumer that
 		// drops the count to zero knows every other consumer is done too.
-		if atomic.AddInt32(&b.refs[e], -1) == 0 && !b.keep[e] {
-			b.res.rows[e] = Row{}
+		// A nil refs slice means every row is retained (cache mode).
+		if b.refs != nil && atomic.AddInt32(&b.refs[e], -1) == 0 && !b.keep[e] {
+			b.release(e)
 		}
 	}
 	// v's own consumers only run in later waves, so a zero count here
 	// means the row is needed by nobody (and was not requested).
-	if atomic.LoadInt32(&b.refs[v]) == 0 && !b.keep[v] {
-		b.res.rows[v] = Row{}
+	if b.refs != nil && atomic.LoadInt32(&b.refs[v]) == 0 && !b.keep[v] {
+		b.release(v)
 	}
 	atomic.AddInt64(&b.res.Work, w)
 }

@@ -48,6 +48,7 @@ type Set struct {
 
 	// scratch
 	tmp bitvec.Vec
+	pos []int32 // UpdateAfter scratch: topo position per var (-1: not live)
 
 	// Stats of the last update.
 	LastRecomputed int
@@ -269,16 +270,23 @@ func (s *Set) UpdateAfter(cs aig.ChangeSet) []int32 {
 		}
 	}
 	cone := s.g.TFICone(roots)
-	pos := map[int32]int{}
+	// Topo positions in a reused flat slice (-1: not in the live order) —
+	// this runs once per applied LAC, and the per-call map it replaces
+	// dominated the update's allocations.
+	if len(s.pos) < s.g.NumVars() {
+		s.pos = make([]int32, s.g.NumVars())
+	}
+	pos := s.pos
+	for i := range pos {
+		pos[i] = -1
+	}
 	for i, v := range s.g.Topo() {
-		pos[v] = i
+		pos[v] = int32(i)
 	}
 	var sv []int32
 	for _, v := range cone {
-		if s.g.IsAnd(v) {
-			if _, ok := pos[v]; ok {
-				sv = append(sv, v)
-			}
+		if s.g.IsAnd(v) && pos[v] >= 0 {
+			sv = append(sv, v)
 		}
 	}
 	sort.Slice(sv, func(i, j int) bool { return pos[sv[i]] > pos[sv[j]] })

@@ -188,6 +188,89 @@ func min(a, b int) int {
 	return b
 }
 
+// TestIncrementalRemovedMFFCTransitive is a regression for cuts invalidated
+// transitively by a removed MFFC: node c's cut contains m, three edges away;
+// replacing t with a constant removes MFFC(t) = {t, m, x, y, k}, and the
+// incremental update must repair cut(c) even though c is not adjacent to t.
+//
+//	c = p∧q ── b = c∧r ──┬─ x = b∧¬p ──┐
+//	      │              └─ z = b∧q → O2│
+//	      └─ k = c∧¬r ──── y = k∧¬q ──┤
+//	                                   m = x∧y ── t = m∧r → O1
+func TestIncrementalRemovedMFFCTransitive(t *testing.T) {
+	g := aig.New("mffc")
+	p, q, r := g.AddPI("p"), g.AddPI("q"), g.AddPI("r")
+	cl := g.And(p, q)
+	bl := g.And(cl, r)
+	kl := g.And(cl, r.Not())
+	xl := g.And(bl, p.Not())
+	yl := g.And(kl, q.Not())
+	ml := g.And(xl, yl)
+	tl := g.And(ml, r)
+	zl := g.And(bl, q)
+	g.AddPO(tl, "O1")
+	g.AddPO(zl, "O2")
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSet(g, 1)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Precondition of the scenario: the merge point m is in cut(c) — the
+	// element the MFFC removal is about to delete.
+	hasM := false
+	for _, e := range s.Cut(cl.Var()) {
+		if e == ml.Var() {
+			hasM = true
+		}
+	}
+	if !hasM {
+		t.Fatalf("precondition: cut(c) = %v does not contain m=%d", s.Cut(cl.Var()), ml.Var())
+	}
+
+	cs := g.ReplaceWithLit(tl.Var(), aig.False)
+	// The MFFC must actually cover the deep interior nodes.
+	removed := map[int32]bool{}
+	for _, v := range cs.Removed {
+		removed[v] = true
+	}
+	for _, v := range []int32{tl.Var(), ml.Var(), xl.Var(), yl.Var(), kl.Var()} {
+		if !removed[v] {
+			t.Fatalf("node %d not removed with MFFC(t); removed = %v", v, cs.Removed)
+		}
+	}
+	sv := s.UpdateAfter(cs)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("after incremental update: %v", err)
+	}
+	// c must have been repaired (it is in S_v) and match a fresh build.
+	inSv := false
+	for _, v := range sv {
+		if v == cl.Var() {
+			inSv = true
+		}
+	}
+	if !inSv {
+		t.Fatalf("c=%d not in recomputed set %v", cl.Var(), sv)
+	}
+	fresh := NewSet(g, 1)
+	for _, w := range g.Topo() {
+		if !g.IsAnd(w) {
+			continue
+		}
+		a1, a2 := sortedCut(s, w), sortedCut(fresh, w)
+		if len(a1) != len(a2) {
+			t.Fatalf("node %d cut mismatch: %v vs %v", w, a1, a2)
+		}
+		for i := range a1 {
+			if a1[i] != a2[i] {
+				t.Fatalf("node %d cut mismatch: %v vs %v", w, a1, a2)
+			}
+		}
+	}
+}
+
 func TestValidateRandomGraphs(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	for trial := 0; trial < 25; trial++ {

@@ -115,6 +115,8 @@ type Sim struct {
 	val      []bitvec.Vec // per variable id
 	dirty    []bool       // scratch for incremental resim
 	scratch  bitvec.Vec
+	touched  []int32 // ResimulateFrom scratch: dirtied nodes
+	changed  []int32 // ResimulateFrom scratch: the returned slice
 }
 
 // New builds a simulator, draws the input patterns, and runs a full
@@ -260,9 +262,12 @@ func (s *Sim) Resimulate() {
 // only their transitive fanout is revisited, and propagation stops early at
 // nodes whose value did not actually change. It returns the variables whose
 // value vector changed.
+//
+// The returned slice is simulator-owned scratch, valid only until the next
+// ResimulateFrom call — callers that need it longer must copy it.
 func (s *Sim) ResimulateFrom(roots []int32) []int32 {
 	order := s.g.Topo()
-	var touched []int32
+	touched := s.touched[:0]
 	setDirty := func(v int32) {
 		if int(v) >= len(s.dirty) {
 			s.ensure(v)
@@ -275,7 +280,7 @@ func (s *Sim) ResimulateFrom(roots []int32) []int32 {
 	for _, r := range roots {
 		setDirty(r)
 	}
-	var changed []int32
+	changed := s.changed[:0]
 	for _, v := range order {
 		if int(v) >= len(s.dirty) {
 			s.ensure(v)
@@ -297,5 +302,7 @@ func (s *Sim) ResimulateFrom(roots []int32) []int32 {
 	for _, v := range touched {
 		s.dirty[v] = false
 	}
+	s.touched = touched[:0]
+	s.changed = changed
 	return changed
 }
