@@ -11,13 +11,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"dpals"
 	"dpals/internal/par"
@@ -34,6 +37,7 @@ func main() {
 	depth := flag.Int("l", 0, "VECBEE depth limit (0 = exact)")
 	out := flag.String("o", "", "output file (.blif or .aag); empty: no output written")
 	maxIters := flag.Int("max-iters", 0, "cap on applied LACs (0 = unlimited)")
+	timeLimit := flag.Duration("time-limit", 0, "wall-clock budget; on expiry the best-so-far circuit is written (0 = unlimited)")
 	noCache := flag.Bool("no-cpm-cache", false, "disable the incremental CPM cache (A/B baseline)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file (taken after the run)")
@@ -87,14 +91,32 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	res, err := dpals.Approximate(c, dpals.Options{
+	// SIGINT/SIGTERM cancel the run cooperatively: the synthesis stops
+	// within one analysis wave and the best-so-far circuit and stats are
+	// still written below. A second signal aborts immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "alsrun: interrupted — stopping at the next checkpoint (press again to abort)")
+		cancel()
+		<-sigc
+		fmt.Fprintln(os.Stderr, "alsrun: aborted")
+		os.Exit(130)
+	}()
+
+	res, err := dpals.ApproximateContext(ctx, c, dpals.Options{
 		Flow: flow, Metric: m, Threshold: thr,
 		Patterns: *patterns, Seed: *seed, Threads: *threads,
 		UseConstLACs: true, UseSASIMILACs: *sasimi,
 		DepthLimit: *depth, MaxIters: *maxIters,
+		TimeLimit:  *timeLimit,
 		NoCPMCache: *noCache,
 	})
 	check(err)
+	signal.Stop(sigc)
+	cancel()
 
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
@@ -113,6 +135,9 @@ func main() {
 		100*res.AreaRatio, 100*res.DelayRatio, 100*res.ADPRatio)
 	fmt.Printf("        %d LACs applied (%d comprehensive + %d incremental analyses, %d rollbacks) in %v\n",
 		res.Stats.Applied, res.Stats.Comprehensive, res.Stats.Incremental, res.Stats.Rollbacks, res.Stats.Runtime)
+	if res.Stats.StopReason == dpals.StopCancelled || res.Stats.StopReason == dpals.StopDeadline {
+		fmt.Printf("        stopped early (%s): result is the valid best-so-far circuit\n", res.Stats.StopReason)
+	}
 	fmt.Printf("        step times: cuts %v, CPM %v, evaluation %v\n",
 		res.Stats.CutTime, res.Stats.CPMTime, res.Stats.EvalTime)
 	if res.Stats.CPMRowsReused+res.Stats.CPMRowsRecomputed > 0 {
@@ -168,6 +193,8 @@ type runStats struct {
 	ReuseRate         float64 `json:"reuse_rate"`
 
 	MTrace []int `json:"m_trace,omitempty"`
+
+	StopReason string `json:"stop_reason"`
 }
 
 func writeStats(path string, flow dpals.Flow, m dpals.Metric, thr float64, res *dpals.Result) error {
@@ -198,6 +225,8 @@ func writeStats(path string, flow dpals.Flow, m dpals.Metric, thr float64, res *
 		ReuseRate:         res.Stats.ReuseRate(),
 
 		MTrace: res.Stats.MTrace,
+
+		StopReason: string(res.Stats.StopReason),
 	}
 	data, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {

@@ -25,6 +25,7 @@
 package dpals
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -286,12 +287,37 @@ type Options struct {
 	M, N       int // dual-phase parameters (0 = paper defaults)
 	MaxIters   int // cap on applied LACs (0 = unlimited)
 
+	// TimeLimit bounds the wall-clock time of the run (0 = unlimited).
+	// When it expires the run stops cooperatively — within one analysis
+	// wave — and returns the valid best-so-far circuit with
+	// Stats.StopReason = StopDeadline. Composes with ApproximateContext:
+	// whichever of the context and the limit fires first stops the run.
+	TimeLimit time.Duration
+
 	// NoCPMCache disables the persistent incremental CPM cache of the
 	// dual-phase flows, rebuilding the phase-2 CPM from scratch every
 	// iteration. Results are bit-identical either way; for A/B
 	// benchmarking only.
 	NoCPMCache bool
 }
+
+// StopReason tells why a synthesis run ended. Runs stopped by a context
+// or deadline still return a valid best-so-far result; StopReason is how
+// callers tell such a result from a completed one.
+type StopReason = core.StopReason
+
+// Stop reasons.
+const (
+	// StopBudget: natural completion — no remaining change fits the error
+	// budget.
+	StopBudget = core.StopBudget
+	// StopMaxIters: the Options.MaxIters cap was reached.
+	StopMaxIters = core.StopMaxIters
+	// StopCancelled: the ApproximateContext context was cancelled.
+	StopCancelled = core.StopCancelled
+	// StopDeadline: Options.TimeLimit or the context deadline expired.
+	StopDeadline = core.StopDeadline
+)
 
 // Stats reports what a run did.
 type Stats struct {
@@ -320,6 +346,10 @@ type Stats struct {
 	// MTrace is the DP-SA self-adaption trajectory: the candidate-set size
 	// M after each dual-phase round. Nil for other flows.
 	MTrace []int
+
+	// StopReason tells why the run ended (StopBudget, StopMaxIters,
+	// StopCancelled, StopDeadline). Always set.
+	StopReason StopReason
 }
 
 // ReuseRate returns the fraction of needed CPM rows that were served from
@@ -347,6 +377,20 @@ type Result struct {
 // Approximate synthesises an approximate version of c under the given
 // error budget. c is not modified.
 func Approximate(c *Circuit, opt Options) (*Result, error) {
+	return ApproximateContext(context.Background(), c, opt)
+}
+
+// ApproximateContext is Approximate with cooperative cancellation: when
+// ctx is cancelled (or opt.TimeLimit expires) the run stops at the next
+// checkpoint — within one analysis wave — and returns the valid
+// best-so-far circuit instead of an error. Result.Error is the genuine
+// sampled error of the returned circuit and never exceeds the budget;
+// Stats.StopReason distinguishes a completed run (StopBudget,
+// StopMaxIters) from a stopped one (StopCancelled, StopDeadline). An
+// uncancelled run is bit-identical to Approximate for every thread
+// count. Errors are returned only for invalid configurations, never for
+// cancellation.
+func ApproximateContext(ctx context.Context, c *Circuit, opt Options) (*Result, error) {
 	if c == nil || c.g == nil {
 		return nil, errors.New("dpals: nil circuit")
 	}
@@ -363,6 +407,7 @@ func Approximate(c *Circuit, opt Options) (*Result, error) {
 	iopt.DepthLimit = opt.DepthLimit
 	iopt.M, iopt.N = opt.M, opt.N
 	iopt.MaxIters = opt.MaxIters
+	iopt.TimeLimit = opt.TimeLimit
 	iopt.NoCPMCache = opt.NoCPMCache
 	iopt.LACs = lac.Options{
 		Constants:  opt.UseConstLACs,
@@ -378,7 +423,7 @@ func Approximate(c *Circuit, opt Options) (*Result, error) {
 	}
 	iopt.Weights = weights
 
-	res, err := core.Run(c.g, iopt)
+	res, err := core.RunContext(ctx, c.g, iopt)
 	if err != nil {
 		return nil, err
 	}
@@ -404,6 +449,7 @@ func Approximate(c *Circuit, opt Options) (*Result, error) {
 			CPMRowsReused:     res.Stats.Work.CPMRowsReused,
 			CPMRowsRecomputed: res.Stats.Work.CPMRowsRecomputed,
 			MTrace:            res.Stats.MTrace,
+			StopReason:        res.Stats.StopReason,
 		},
 	}
 	if mo.Area > 0 {

@@ -1,0 +1,52 @@
+// Timeout: bound a synthesis run by wall-clock time and still get a valid
+// circuit. ApproximateContext stops cooperatively — within one analysis
+// wave — when the context is done or Options.TimeLimit expires, and
+// returns the best-so-far result instead of an error; Stats.StopReason
+// tells a completed run from an interrupted one.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"dpals"
+)
+
+func main() {
+	// 1. A deliberately large circuit: four 10×10 multipliers feeding an
+	//    adder tree (the paper's 4730-AND benchmark scale).
+	c := dpals.NewVecMul(4, 10)
+	R := dpals.ReferenceError(c)
+
+	// 2. Give the run two seconds. Options.TimeLimit would work the same;
+	//    an explicit context additionally composes with servers, signal
+	//    handlers, or request scopes.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+
+	res, err := dpals.ApproximateContext(ctx, c, dpals.Options{
+		Flow:      dpals.DPSA,
+		Metric:    dpals.MSE,
+		Threshold: R * R,
+	})
+	if err != nil {
+		log.Fatal(err) // only invalid configurations error — not timeouts
+	}
+
+	// 3. The result is always a valid circuit: swept, within the error
+	//    budget, with its genuine sampled error. StopReason says whether
+	//    the budget was exhausted or the clock ran out first.
+	fmt.Printf("stop     : %s\n", res.Stats.StopReason)
+	fmt.Printf("approx   : %d gates (of %d), error %.1f ≤ %.0f\n",
+		res.Circuit.NumGates(), c.NumGates(), res.Error, R*R)
+	fmt.Printf("synthesis: %d LACs in %v\n", res.Stats.Applied, res.Stats.Runtime.Round(time.Millisecond))
+
+	switch res.Stats.StopReason {
+	case dpals.StopDeadline, dpals.StopCancelled:
+		fmt.Println("interrupted — the circuit above is the best found so far")
+	default:
+		fmt.Println("completed — no further change fits the budget")
+	}
+}

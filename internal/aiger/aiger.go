@@ -14,8 +14,80 @@ import (
 	"dpals/internal/aig"
 )
 
-// Read parses an AIGER stream, ASCII ("aag") or binary ("aig").
+// MaxVars caps the variable count a header may declare before Read
+// refuses the file. The reader allocates memory proportional to the
+// declared counts before seeing the body, so without a cap a handful of
+// header bytes ("aag 2000000000 ...") could demand gigabytes. Exported so
+// tools that genuinely handle huge AIGs can raise it.
+var MaxVars = 1 << 26
+
+// inputSize reports the number of unread bytes in r when that is knowable
+// without consuming it (bytes.Reader, strings.Reader, os.File, …), else -1.
+func inputSize(r io.Reader) int64 {
+	switch v := r.(type) {
+	case interface{ Len() int }:
+		return int64(v.Len())
+	case io.Seeker:
+		cur, err := v.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return -1
+		}
+		end, err := v.Seek(0, io.SeekEnd)
+		if err != nil {
+			return -1
+		}
+		if _, err := v.Seek(cur, io.SeekStart); err != nil {
+			return -1
+		}
+		return end - cur
+	}
+	return -1
+}
+
+// checkHeader validates the declared counts for mutual consistency and
+// plausibility against the input size before anything is allocated from
+// them. binary selects the stricter "aig" rules (inputs are implicit).
+func checkHeader(m, i, o, a int, size int64, binary bool) error {
+	if binary {
+		if m != i+a {
+			return fmt.Errorf("aiger: binary header maxvar %d != inputs+ands %d", m, i+a)
+		}
+	} else if m < i+a {
+		return fmt.Errorf("aiger: header maxvar %d < inputs+ands %d", m, i+a)
+	}
+	if m > MaxVars || o > MaxVars {
+		return fmt.Errorf("aiger: header declares %d variables, %d outputs (cap %d)", m, o, MaxVars)
+	}
+	if size < 0 {
+		return nil // unknowable (plain stream); MaxVars still bounds allocation
+	}
+	// Every declared object occupies at least two body bytes: an ASCII
+	// input/output/AND line is at least one digit plus a newline, a binary
+	// AND is two delta bytes (binary inputs are free). A header whose
+	// counts cannot fit in the bytes that follow is malformed — reject it
+	// before allocating anything proportional to the counts.
+	objs := int64(o) + int64(a)
+	if !binary {
+		objs += int64(i)
+	}
+	if need := 2 * objs; need > size {
+		return fmt.Errorf("aiger: header declares %d objects but only %d bytes follow", objs, size)
+	}
+	// Variables beyond I+A are gaps and cost no body bytes, so m is only
+	// loosely tied to the size; still refuse headers whose maxvar is out
+	// of all proportion to the file (a 30-byte file declaring 2^24 vars).
+	if int64(m) > 8*size {
+		return fmt.Errorf("aiger: header maxvar %d implausible for %d input bytes", m, size)
+	}
+	return nil
+}
+
+// Read parses an AIGER stream, ASCII ("aag") or binary ("aig"). Malformed
+// input — inconsistent or implausible header counts, truncation inside a
+// mandatory section, out-of-range literals — yields an error, never a
+// panic or an allocation unrelated to the actual input size.
 func Read(r io.Reader) (*aig.Graph, error) {
+	size := inputSize(r)
 	br := bufio.NewReader(r)
 	header, err := br.ReadString('\n')
 	if err != nil {
@@ -36,17 +108,28 @@ func Read(r io.Reader) (*aig.Graph, error) {
 	if l != 0 {
 		return nil, fmt.Errorf("aiger: %d latches present; only combinational models supported", l)
 	}
+	if size >= 0 {
+		size -= int64(len(header)) // body bytes only
+	}
+	if err := checkHeader(m, i, o, a, size, f[0] == "aig"); err != nil {
+		return nil, err
+	}
 	if f[0] == "aig" {
-		if m != i+a {
-			return nil, fmt.Errorf("aiger: binary header maxvar %d != inputs+ands %d", m, i+a)
-		}
 		return readBinary(br, m, i, o, a)
 	}
 
+	// readLine returns the next line with its number. A final line without
+	// a trailing newline is accepted; any other read error — including
+	// plain EOF, i.e. truncation — is reported, never swallowed.
+	line := 1 // the header
 	readLine := func() (string, error) {
+		line++
 		s, err := br.ReadString('\n')
-		if err != nil && s == "" {
-			return "", err
+		if err != nil {
+			if err == io.EOF && s != "" {
+				return strings.TrimSpace(s), nil
+			}
+			return "", fmt.Errorf("line %d: %w", line, err)
 		}
 		return strings.TrimSpace(s), nil
 	}
@@ -67,7 +150,6 @@ func Read(r io.Reader) (*aig.Graph, error) {
 		return base.NotIf(aigerLit&1 == 1), nil
 	}
 
-	inputVars := make([]uint64, i)
 	for k := 0; k < i; k++ {
 		s, err := readLine()
 		if err != nil {
@@ -75,10 +157,15 @@ func Read(r io.Reader) (*aig.Graph, error) {
 		}
 		v, err := strconv.ParseUint(s, 10, 64)
 		if err != nil || v&1 == 1 || v == 0 {
-			return nil, fmt.Errorf("aiger: bad input literal %q", s)
+			return nil, fmt.Errorf("aiger: bad input literal %q (line %d)", s, line)
+		}
+		if v>>1 > uint64(m) {
+			return nil, fmt.Errorf("aiger: input literal %d exceeds maxvar %d (line %d)", v, m, line)
+		}
+		if lits[v>>1] != 0 {
+			return nil, fmt.Errorf("aiger: variable %d defined twice (line %d)", v>>1, line)
 		}
 		lits[v>>1] = g.AddPI(fmt.Sprintf("i%d", k))
-		inputVars[k] = v >> 1
 	}
 	outLits := make([]uint64, o)
 	for k := 0; k < o; k++ {
@@ -88,7 +175,7 @@ func Read(r io.Reader) (*aig.Graph, error) {
 		}
 		v, err := strconv.ParseUint(s, 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("aiger: bad output literal %q", s)
+			return nil, fmt.Errorf("aiger: bad output literal %q (line %d)", s, line)
 		}
 		outLits[k] = v
 	}
@@ -99,21 +186,24 @@ func Read(r io.Reader) (*aig.Graph, error) {
 		}
 		fs := strings.Fields(s)
 		if len(fs) != 3 {
-			return nil, fmt.Errorf("aiger: bad AND line %q", s)
+			return nil, fmt.Errorf("aiger: bad AND line %q (line %d)", s, line)
 		}
 		var lhs, rhs0, rhs1 uint64
 		for idx, dst := range []*uint64{&lhs, &rhs0, &rhs1} {
 			v, err := strconv.ParseUint(fs[idx], 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("aiger: bad AND literal %q", fs[idx])
+				return nil, fmt.Errorf("aiger: bad AND literal %q (line %d)", fs[idx], line)
 			}
 			*dst = v
 		}
 		if lhs&1 == 1 || lhs>>1 > uint64(m) {
-			return nil, fmt.Errorf("aiger: bad AND lhs %d", lhs)
+			return nil, fmt.Errorf("aiger: bad AND lhs %d (line %d)", lhs, line)
+		}
+		if lits[lhs>>1] != 0 {
+			return nil, fmt.Errorf("aiger: variable %d defined twice (line %d)", lhs>>1, line)
 		}
 		if rhs0 >= lhs || rhs1 >= lhs {
-			return nil, fmt.Errorf("aiger: AND %d not in topological order", lhs)
+			return nil, fmt.Errorf("aiger: AND %d not in topological order (line %d)", lhs, line)
 		}
 		a0, err := conv(rhs0)
 		if err != nil {
@@ -169,7 +259,6 @@ func Read(r io.Reader) (*aig.Graph, error) {
 		g.AddPO(l, name)
 	}
 	_ = piNames // PI names in aig.Graph are fixed at AddPI time; renames are cosmetic
-	_ = inputVars
 	return g.Sweep(), nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"fmt"
+	"io"
 	"strings"
 	"testing"
 
@@ -160,11 +161,11 @@ func TestReadErrors(t *testing.T) {
 	cases := map[string]string{
 		"binaryTruncated": "aig 3 2 0 1 1\n",
 		"binaryBadHeader": "aig 9 2 0 1 1\n",
-		"latches":   "aag 3 1 1 1 0\n2\n4 2\n4\n",
-		"badHeader": "aag 3 2 0\n",
-		"badInput":  "aag 2 1 0 1 0\n3\n2\n",
-		"order":     "aag 3 1 0 1 2\n2\n6\n4 6 2\n6 2 2\n",
-		"overflow":  "aag 2 1 0 1 1\n2\n4\n4 2 9\n",
+		"latches":         "aag 3 1 1 1 0\n2\n4 2\n4\n",
+		"badHeader":       "aag 3 2 0\n",
+		"badInput":        "aag 2 1 0 1 0\n3\n2\n",
+		"order":           "aag 3 1 0 1 2\n2\n6\n4 6 2\n6 2 2\n",
+		"overflow":        "aag 2 1 0 1 1\n2\n4\n4 2 9\n",
 	}
 	for name, src := range cases {
 		if _, err := Read(strings.NewReader(src)); err == nil {
@@ -190,5 +191,98 @@ func TestWriteHeaderCounts(t *testing.T) {
 	}
 	if m != i+a {
 		t.Errorf("maxvar %d != inputs+ands %d", m, i+a)
+	}
+}
+
+// A malformed header must be rejected up front — before any allocation
+// proportional to its counts. The pre-hardening reader allocated
+// m+1 literal slots straight from the header, so a 30-byte file claiming
+// two billion variables demanded gigabytes.
+func TestReadRejectsImplausibleHeader(t *testing.T) {
+	cases := map[string]string{
+		"hugeMaxvar":      "aag 2000000000 1 0 1 0\n2\n2\n",
+		"hugeBinary":      "aig 2000000000 1000000000 0 0 1000000000\n",
+		"hugeOutputs":     "aag 2 1 0 1000000000 0\n2\n",
+		"maxvarTooSmall":  "aag 1 2 0 0 2\n2\n4\n",
+		"binaryMismatch":  "aig 9 2 0 1 1\n6\n",
+		"countsDontFit":   "aag 100 50 0 25 25\n2\n",
+		"negativeField":   "aag 3 -1 0 1 0\n2\n",
+		"overCapAndGates": "aag 100000000 50000000 0 0 50000000\n",
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// Truncation inside a mandatory section must be a hard, line-attributed
+// error. The pre-hardening readLine returned partial text with a nil
+// error, silently mistaking a cut-off file for a complete one.
+func TestReadRejectsTruncation(t *testing.T) {
+	full := "aag 3 2 0 1 1\n2\n4\n6\n6 4 2\n"
+	if _, err := Read(strings.NewReader(full)); err != nil {
+		t.Fatalf("intact model rejected: %v", err)
+	}
+	cases := map[string]string{
+		"midInputs":  "aag 3 2 0 1 1\n2\n",
+		"midOutputs": "aag 3 2 0 2 1\n2\n4\n6\n",
+		"midAnds":    "aag 4 2 0 1 2\n2\n4\n8\n6 4 2\n",
+		"emptyBody":  "aag 3 2 0 1 1\n",
+	}
+	for name, src := range cases {
+		_, err := Read(strings.NewReader(src))
+		if err == nil {
+			t.Errorf("%s: truncated model accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "truncated") && !strings.Contains(err.Error(), "declares") {
+			t.Errorf("%s: error does not mention truncation: %v", name, err)
+		}
+	}
+	// Binary: AND deltas cut off mid-stream.
+	g := gen.Adder(4)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.String()
+	cut = cut[:strings.Index(cut, "\n")+1+g.NumPOs()*2+3]
+	if _, err := Read(strings.NewReader(cut)); err == nil {
+		t.Error("truncated binary AND section accepted")
+	}
+}
+
+// Out-of-range and duplicate definitions must error, not panic. The input
+// literal bound is a regression: the pre-hardening reader indexed the
+// literal table with v>>1 unchecked.
+func TestReadRejectsBadDefinitions(t *testing.T) {
+	cases := map[string]string{
+		"inputBeyondMaxvar": "aag 3 1 0 1 0\n2000\n2\npadpadpadpadpadpad\n",
+		"inputTwice":        "aag 3 2 0 1 1\n2\n2\n6\n6 4 2\n",
+		"andTwice":          "aag 4 1 0 1 3\n2\n4\n4 2 2\n4 2 3\n6 4 2\n",
+		"outputUndefined":   "aag 3 1 0 1 0\n2\n6\npadpadpad\n",
+	}
+	for name, src := range cases {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s: reader panicked: %v", name, r)
+				}
+			}()
+			if _, err := Read(strings.NewReader(src)); err == nil {
+				t.Errorf("%s: expected error", name)
+			}
+		}()
+	}
+}
+
+// MaxVars caps header-driven allocation for readers whose size is
+// unknowable (plain streams).
+func TestReadHonoursMaxVarsOnPlainStream(t *testing.T) {
+	src := "aag 100000000 1 0 1 0\n2\n2\n"
+	// io.MultiReader hides Len/Seek, so the size heuristic cannot apply.
+	if _, err := Read(io.MultiReader(strings.NewReader(src))); err == nil {
+		t.Error("over-cap header accepted on a plain stream")
 	}
 }

@@ -116,12 +116,14 @@ func readBinary(br *bufio.Reader, m, i, o, a int) (*aig.Graph, error) {
 	outLits := make([]uint64, o)
 	for k := 0; k < o; k++ {
 		s, err := br.ReadString('\n')
-		if err != nil {
-			return nil, fmt.Errorf("aiger: truncated outputs: %w", err)
+		if err != nil && !(err == io.EOF && s != "") {
+			// Truncation inside the mandatory output section is a hard
+			// error; only a final line missing its newline is tolerated.
+			return nil, fmt.Errorf("aiger: truncated outputs (line %d): %w", k+2, err)
 		}
 		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("aiger: bad output literal %q", strings.TrimSpace(s))
+			return nil, fmt.Errorf("aiger: bad output literal %q (line %d)", strings.TrimSpace(s), k+2)
 		}
 		outLits[k] = v
 	}

@@ -1,0 +1,94 @@
+package aiger
+
+import (
+	"bytes"
+	"testing"
+
+	"dpals/internal/gen"
+)
+
+// fuzzSeeds are small real circuits in both encodings, so the fuzzer
+// starts from structurally valid inputs and mutates toward the edges.
+func fuzzSeeds(f *testing.F, binary bool) {
+	f.Helper()
+	graphs := []struct{ w func(*bytes.Buffer) error }{
+		{func(b *bytes.Buffer) error {
+			if binary {
+				return WriteBinary(b, gen.Adder(4))
+			}
+			return Write(b, gen.Adder(4))
+		}},
+		{func(b *bytes.Buffer) error {
+			if binary {
+				return WriteBinary(b, gen.MultU(3, 3))
+			}
+			return Write(b, gen.MultU(3, 3))
+		}},
+		{func(b *bytes.Buffer) error {
+			if binary {
+				return WriteBinary(b, gen.Detector(4))
+			}
+			return Write(b, gen.Detector(4))
+		}},
+	}
+	for _, s := range graphs {
+		var b bytes.Buffer
+		if err := s.w(&b); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b.Bytes())
+	}
+	if binary {
+		f.Add([]byte("aig 1 1 0 1 0\n2\n"))
+	} else {
+		f.Add([]byte("aag 3 2 0 1 1\n2\n4\n6\n6 4 2\ni0 x\no0 y\nc\n"))
+		f.Add([]byte("aag 2000000000 1 0 1 0\n2\n2\n"))
+	}
+}
+
+// fuzzRead is the shared property check: Read never panics, never builds
+// a graph out of proportion to the input, and anything it accepts
+// round-trips through Write and Read to the same bytes.
+func fuzzRead(t *testing.T, data []byte) {
+	g, err := Read(bytes.NewReader(data))
+	if err != nil {
+		return // rejected inputs only need to be rejected cleanly
+	}
+	if err := g.Check(); err != nil {
+		t.Fatalf("accepted graph fails invariants: %v", err)
+	}
+	// Allocation boundedness: every variable costs input bytes (at least
+	// two in ASCII; binary inputs are free but capped by maxvar ≤ 8×size).
+	if max := 8*len(data) + 64; g.NumVars() > max {
+		t.Fatalf("graph has %d vars from %d input bytes", g.NumVars(), len(data))
+	}
+	var b1 bytes.Buffer
+	if err := Write(&b1, g); err != nil {
+		t.Fatalf("write-back failed: %v", err)
+	}
+	g2, err := Read(bytes.NewReader(b1.Bytes()))
+	if err != nil {
+		t.Fatalf("re-read of written model failed: %v\nmodel:\n%s", err, b1.String())
+	}
+	if g2.NumPIs() != g.NumPIs() || g2.NumPOs() != g.NumPOs() || g2.NumAnds() != g.NumAnds() {
+		t.Fatalf("round-trip changed shape: %d/%d/%d -> %d/%d/%d",
+			g.NumPIs(), g.NumPOs(), g.NumAnds(), g2.NumPIs(), g2.NumPOs(), g2.NumAnds())
+	}
+	var b2 bytes.Buffer
+	if err := Write(&b2, g2); err != nil {
+		t.Fatalf("second write failed: %v", err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("write/read/write not stable:\n-- first --\n%s\n-- second --\n%s", b1.String(), b2.String())
+	}
+}
+
+func FuzzAIGERRead(f *testing.F) {
+	fuzzSeeds(f, false)
+	f.Fuzz(fuzzRead)
+}
+
+func FuzzAIGERBinaryRead(f *testing.F) {
+	fuzzSeeds(f, true)
+	f.Fuzz(fuzzRead)
+}

@@ -109,41 +109,62 @@ func Read(r io.Reader) (*aig.Graph, error) {
 		sig[in] = g.AddPI(in)
 	}
 
-	// Synthesise .names tables in dependency order (iterate until settled;
-	// BLIF does not require topological order in the file).
-	remaining := tables
-	for len(remaining) > 0 {
-		progress := false
-		var defer2 []*names
-		for _, t := range remaining {
-			ready := true
-			for _, in := range t.ins {
-				if _, ok := sig[in]; !ok {
-					ready = false
-					break
-				}
+	// Synthesise .names tables in dependency order. BLIF does not require
+	// topological order in the file, so resolve with a worklist over the
+	// signal-dependency graph — linear in the total table size, where the
+	// old iterate-until-settled loop was quadratic in the table count and
+	// took seconds on a few hundred kilobytes of reverse-ordered tables.
+	waiting := map[string][]*names{} // undefined signal -> tables blocked on it
+	missing := make(map[*names]int, len(tables))
+	var ready []*names
+	for _, t := range tables {
+		n := 0
+		for _, in := range t.ins {
+			if _, ok := sig[in]; !ok {
+				waiting[in] = append(waiting[in], t)
+				n++
 			}
-			if !ready {
-				defer2 = append(defer2, t)
-				continue
-			}
-			l, err := synthCover(g, sig, t.ins, t.covers)
-			if err != nil {
-				return nil, fmt.Errorf("blif: table for %q: %w", t.out, err)
-			}
-			if _, dup := sig[t.out]; dup {
-				return nil, fmt.Errorf("blif: signal %q defined twice", t.out)
-			}
-			sig[t.out] = l
-			progress = true
 		}
-		if !progress {
-			return nil, fmt.Errorf("blif: cyclic or undefined signals (e.g. %q)", remaining[0].out)
+		missing[t] = n
+		if n == 0 {
+			ready = append(ready, t)
 		}
-		remaining = defer2
+	}
+	done := 0
+	for len(ready) > 0 {
+		t := ready[0]
+		ready = ready[1:]
+		l, err := synthCover(g, sig, t.ins, t.covers)
+		if err != nil {
+			return nil, fmt.Errorf("blif: table for %q: %w", t.out, err)
+		}
+		if _, dup := sig[t.out]; dup {
+			return nil, fmt.Errorf("blif: signal %q defined twice", t.out)
+		}
+		sig[t.out] = l
+		done++
+		for _, w := range waiting[t.out] {
+			missing[w]--
+			if missing[w] == 0 {
+				ready = append(ready, w)
+			}
+		}
+		delete(waiting, t.out)
+	}
+	if done != len(tables) {
+		for _, t := range tables {
+			if missing[t] > 0 {
+				return nil, fmt.Errorf("blif: cyclic or undefined signals (e.g. %q)", t.out)
+			}
+		}
 	}
 
+	seenOut := map[string]bool{}
 	for _, out := range outputs {
+		if seenOut[out] {
+			return nil, fmt.Errorf("blif: duplicate output %q", out)
+		}
+		seenOut[out] = true
 		l, ok := sig[out]
 		if !ok {
 			return nil, fmt.Errorf("blif: output %q undefined", out)
@@ -216,7 +237,10 @@ func synthCover(g *aig.Graph, sig map[string]aig.Lit, ins []string, covers []str
 }
 
 // Write emits the graph as a BLIF model: one 2-input .names per AND node,
-// plus buffers/inverters for outputs.
+// plus buffers/inverters for outputs. Every emitted signal name is unique
+// — user names that collide after sanitisation, or that clash with the
+// generated internal names, are suffixed — so the model always reads back
+// (Read rejects redefinitions and duplicate outputs).
 func Write(w io.Writer, g *aig.Graph) error {
 	bw := bufio.NewWriter(w)
 	name := g.Name
@@ -225,32 +249,68 @@ func Write(w io.Writer, g *aig.Graph) error {
 	}
 	fmt.Fprintf(bw, ".model %s\n", name)
 
-	fmt.Fprint(bw, ".inputs")
-	for i := range g.PIs() {
-		fmt.Fprintf(bw, " %s", sanitize(g.PIName(i)))
+	used := map[string]bool{}
+	uniq := func(base string) string {
+		if !used[base] {
+			used[base] = true
+			return base
+		}
+		for n := 2; ; n++ {
+			c := fmt.Sprintf("%s_%d", base, n)
+			if !used[c] {
+				used[c] = true
+				return c
+			}
+		}
 	}
-	fmt.Fprintln(bw)
-	fmt.Fprint(bw, ".outputs")
-	for o := 0; o < g.NumPOs(); o++ {
-		fmt.Fprintf(bw, " %s", sanitize(g.POName(o)))
+
+	piName := make(map[int32]string, g.NumPIs())
+	fmt.Fprint(bw, ".inputs")
+	for i, v := range g.PIs() {
+		piName[v] = uniq(sanitize(g.PIName(i)))
+		fmt.Fprintf(bw, " %s", piName[v])
 	}
 	fmt.Fprintln(bw)
 
-	sigName := func(v int32) string {
-		if g.IsPI(v) {
-			for i, p := range g.PIs() {
-				if p == v {
-					return sanitize(g.PIName(i))
-				}
-			}
+	// Output names are reserved before the internal node names so user PO
+	// names survive unchanged. A PO that is exactly an uncomplemented PI
+	// of the same name references the input directly, with no buffer.
+	poName := make([]string, g.NumPOs())
+	poDirect := make([]bool, g.NumPOs())
+	directUsed := map[string]bool{}
+	fmt.Fprint(bw, ".outputs")
+	for o, po := range g.POs() {
+		n := sanitize(g.POName(o))
+		if v := po.Var(); !po.IsCompl() && g.IsPI(v) && piName[v] == n && !directUsed[n] {
+			poName[o] = n
+			poDirect[o] = true
+			directUsed[n] = true
+		} else {
+			poName[o] = uniq(n)
 		}
-		return fmt.Sprintf("n%d", v)
+		fmt.Fprintf(bw, " %s", poName[o])
 	}
-	constUsed := false
+	fmt.Fprintln(bw)
+
+	nodeName := map[int32]string{}
+	sigName := func(v int32) string {
+		if n, ok := piName[v]; ok {
+			return n
+		}
+		n, ok := nodeName[v]
+		if !ok {
+			n = uniq(fmt.Sprintf("n%d", v))
+			nodeName[v] = n
+		}
+		return n
+	}
+	constName := ""
 	litName := func(l aig.Lit) (string, bool) { // name, complemented
 		if l.Var() == 0 {
-			constUsed = true
-			return "const1", l == aig.False
+			if constName == "" {
+				constName = uniq("const1")
+			}
+			return constName, l == aig.False
 		}
 		return sigName(l.Var()), l.IsCompl()
 	}
@@ -273,16 +333,19 @@ func Write(w io.Writer, g *aig.Graph) error {
 		fmt.Fprintf(bw, "%s%s 1\n", b0, b1)
 	}
 	for o, po := range g.POs() {
+		if poDirect[o] {
+			continue
+		}
 		n, c := litName(po)
-		fmt.Fprintf(bw, ".names %s %s\n", n, sanitize(g.POName(o)))
+		fmt.Fprintf(bw, ".names %s %s\n", n, poName[o])
 		if c {
 			fmt.Fprintln(bw, "0 1")
 		} else {
 			fmt.Fprintln(bw, "1 1")
 		}
 	}
-	if constUsed {
-		fmt.Fprintln(bw, ".names const1")
+	if constName != "" {
+		fmt.Fprintf(bw, ".names %s\n", constName)
 		fmt.Fprintln(bw, "1")
 	}
 	fmt.Fprintln(bw, ".end")

@@ -2,8 +2,10 @@ package blif
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"dpals/internal/aig"
 	"dpals/internal/bitvec"
@@ -208,5 +210,29 @@ func TestWriteStable(t *testing.T) {
 	}
 	if !strings.Contains(b1.String(), ".model adder4") {
 		t.Error("model name missing")
+	}
+}
+
+// Tables listed in reverse dependency order must resolve in linear time.
+// Regression: the old iterate-until-settled loop was quadratic in the
+// table count and needed seconds for a few hundred kilobytes.
+func TestReverseOrderedTablesResolveFast(t *testing.T) {
+	const n = 16000
+	var b bytes.Buffer
+	b.WriteString(".model chain\n.inputs a\n.outputs s0\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, ".names s%d s%d\n1 1\n", i+1, i)
+	}
+	fmt.Fprintf(&b, ".names a s%d\n1 1\n.end\n", n)
+	start := time.Now()
+	g, err := Read(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("reverse chain of %d tables took %v", n, d)
+	}
+	if g.NumPIs() != 1 || g.NumPOs() != 1 {
+		t.Errorf("interface %d/%d", g.NumPIs(), g.NumPOs())
 	}
 }

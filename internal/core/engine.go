@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -24,6 +25,28 @@ type Result struct {
 // Run synthesises an approximate version of g under opt and returns the
 // result. g itself is never modified.
 func Run(g *aig.Graph, opt Options) (*Result, error) {
+	return RunContext(context.Background(), g, opt)
+}
+
+// RunContext is Run with cooperative cancellation and an optional
+// deadline: when ctx is cancelled (or opt.TimeLimit expires) the run stops
+// at the next checkpoint — an iteration boundary of the flow, or a wave
+// boundary inside a running analysis — and returns the valid best-so-far
+// result instead of an error. The returned circuit is swept, its Error is
+// the genuine sampled error of that circuit, and it never exceeds the
+// budget; Stats.StopReason tells whether the run completed (budget,
+// max-iters) or was stopped (cancelled, deadline). An uncancelled run is
+// bit-identical to Run for every thread count. Errors are returned only
+// for invalid configurations, never for cancellation.
+func RunContext(ctx context.Context, g *aig.Graph, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.TimeLimit > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.TimeLimit)
+		defer cancel()
+	}
 	if opt.Threshold < 0 {
 		return nil, errors.New("core: negative error threshold")
 	}
@@ -53,6 +76,7 @@ func Run(g *aig.Graph, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.ctx = ctx
 	start := time.Now()
 	switch opt.Flow {
 	case FlowConventional:
@@ -66,6 +90,11 @@ func Run(g *aig.Graph, opt Options) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown flow %d", int(opt.Flow))
 	}
+	if e.stats.StopReason == "" {
+		// Flows record the reason at their exit checkpoint; a flow that
+		// returned without one completed naturally.
+		e.stats.StopReason = StopBudget
+	}
 	e.stats.Runtime = time.Since(start)
 	e.stats.NodesAfter = e.g.NumAnds()
 	out := e.g.Sweep()
@@ -75,6 +104,7 @@ func Run(g *aig.Graph, opt Options) (*Result, error) {
 // engine holds the mutable synthesis state shared by all flows.
 type engine struct {
 	opt   Options
+	ctx   context.Context // run-scoped; checked at iteration and wave boundaries
 	g     *aig.Graph
 	s     *sim.Sim
 	st    *metric.State
@@ -186,6 +216,43 @@ func (e *engine) apply(l lac.LAC) aig.ChangeSet {
 // reachedCap reports whether the safety iteration cap has been hit.
 func (e *engine) reachedCap() bool {
 	return e.opt.MaxIters > 0 && e.stats.Applied >= e.opt.MaxIters
+}
+
+// cancelled reports whether the run's context is done, recording the
+// matching stop reason (deadline vs cancelled) on the first hit. Flows
+// call it at iteration boundaries and after every analysis step, and must
+// return best-so-far without further graph edits once it fires.
+func (e *engine) cancelled() bool {
+	if e.ctx == nil {
+		return false
+	}
+	err := e.ctx.Err()
+	if err == nil {
+		return false
+	}
+	if e.stats.StopReason == "" {
+		if errors.Is(err, context.DeadlineExceeded) {
+			e.stats.StopReason = StopDeadline
+		} else {
+			e.stats.StopReason = StopCancelled
+		}
+	}
+	return true
+}
+
+// stopped reports whether a flow must stop before starting another
+// iteration — context cancelled/deadline expired, or the MaxIters cap
+// reached — recording the stop reason. The natural "no LAC fits the
+// budget" exit records StopBudget at its own site.
+func (e *engine) stopped() bool {
+	if e.cancelled() {
+		return true
+	}
+	if e.reachedCap() {
+		e.stats.StopReason = StopMaxIters
+		return true
+	}
+	return false
 }
 
 // snapshot captures the full synthesis state for rollback (used by the

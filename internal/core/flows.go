@@ -21,30 +21,44 @@ func (e *engine) useCache() bool {
 // the per-node bests sorted by ascending error. With the CPM cache active
 // the full build runs through cpm.Cache.Rebuild — bit-identical rows, but
 // recycled vector memory and rows that stay live for phase 2.
+// Cancellation makes every step return early at a wave boundary; the
+// partial analysis is discarded (nil bests) and the caller must check
+// e.cancelled() before interpreting nil as "no candidates".
 func (e *engine) comprehensive() []lac.NodeBest {
 	t0 := time.Now()
-	e.cuts = cut.NewSet(e.g, e.opt.Threads)
+	cuts, err := cut.NewSetCtx(e.ctx, e.g, e.opt.Threads)
+	e.cuts = cuts
 	t1 := time.Now()
 	e.stats.Step.Cuts += t1.Sub(t0)
 	e.stats.Work.Cuts += e.cuts.Work()
+	if err != nil {
+		return nil
+	}
 	var res *cpm.Result
 	if e.useCache() {
 		if e.cache == nil {
 			e.cache = cpm.NewCache(e.g, e.s)
 		}
-		upd := e.cache.Rebuild(e.cuts, e.opt.Threads)
+		upd, rerr := e.cache.RebuildCtx(e.ctx, e.cuts, e.opt.Threads)
+		err = rerr
 		res = upd.Res
 		e.stats.Work.CPM += upd.Work
 		e.stats.Work.CPMRowsRecomputed += int64(upd.Recomputed)
 	} else {
-		res = cpm.BuildDisjoint(e.g, e.s, e.cuts, nil, e.opt.Threads)
+		res, err = cpm.BuildDisjointCtx(e.ctx, e.g, e.s, e.cuts, nil, e.opt.Threads)
 		e.stats.Work.CPM += res.Work
 	}
 	t2 := time.Now()
 	e.stats.Step.CPM += t2.Sub(t1)
-	bests, ew := lac.EvaluateTargets(e.gen, res, e.st, e.liveTargets(), e.opt.Threads)
+	if err != nil {
+		return nil
+	}
+	bests, ew, err := lac.EvaluateTargetsCtx(e.ctx, e.gen, res, e.st, e.liveTargets(), e.opt.Threads)
 	e.stats.Step.Eval += time.Since(t2)
 	e.stats.Work.Eval += ew
+	if err != nil {
+		return nil
+	}
 	e.stats.Phase1++
 	return bests
 }
@@ -53,9 +67,16 @@ func (e *engine) comprehensive() []lac.NodeBest {
 // comprehensive analysis and applies the single LAC with the smallest
 // error, until no candidate fits the threshold.
 func (e *engine) runConventional() {
-	for !e.reachedCap() {
+	for {
+		if e.stopped() {
+			return
+		}
 		bests := e.comprehensive()
+		if e.cancelled() {
+			return
+		}
 		if len(bests) == 0 || bests[0].Best.Err > e.opt.Threshold {
+			e.stats.StopReason = StopBudget
 			return
 		}
 		chosen := bests[0]
@@ -72,17 +93,29 @@ func (e *engine) runConventional() {
 // validated against the real (sampled) error and rolled back on violation.
 func (e *engine) runVECBEE() {
 	exactMode := e.opt.DepthLimit <= 0
-	for !e.reachedCap() {
+	for {
+		if e.stopped() {
+			return
+		}
 		t1 := time.Now()
-		res := cpm.BuildVECBEE(e.g, e.s, e.opt.DepthLimit, nil, e.opt.Threads)
+		res, err := cpm.BuildVECBEECtx(e.ctx, e.g, e.s, e.opt.DepthLimit, nil, e.opt.Threads)
 		t2 := time.Now()
 		e.stats.Step.CPM += t2.Sub(t1)
 		e.stats.Work.CPM += res.Work
-		bests, ew := lac.EvaluateTargets(e.gen, res, e.st, e.liveTargets(), e.opt.Threads)
+		if err != nil {
+			e.cancelled()
+			return
+		}
+		bests, ew, err := lac.EvaluateTargetsCtx(e.ctx, e.gen, res, e.st, e.liveTargets(), e.opt.Threads)
 		e.stats.Step.Eval += time.Since(t2)
 		e.stats.Work.Eval += ew
+		if err != nil {
+			e.cancelled()
+			return
+		}
 		e.stats.Phase1++
 		if len(bests) == 0 || bests[0].Best.Err > e.opt.Threshold {
+			e.stats.StopReason = StopBudget
 			return
 		}
 		chosen := bests[0]
@@ -93,6 +126,7 @@ func (e *engine) runVECBEE() {
 			e.apply(chosen.Best.LAC)
 			if e.st.Error() > e.opt.Threshold {
 				e.restore(sn)
+				e.stats.StopReason = StopBudget
 				return
 			}
 		}
@@ -116,9 +150,16 @@ func (e *engine) runAccALS() {
 	if accTol <= 0 {
 		accTol = 0.05
 	}
-	for !e.reachedCap() {
+	for {
+		if e.stopped() {
+			return
+		}
 		bests := e.comprehensive()
+		if e.cancelled() {
+			return
+		}
 		if len(bests) == 0 || bests[0].Best.Err > e.opt.Threshold {
+			e.stats.StopReason = StopBudget
 			return
 		}
 		cur := e.st.Error()
@@ -211,11 +252,18 @@ func (e *engine) runDualPhase(selfAdapt bool) {
 		N = 1
 	}
 
-	for !e.reachedCap() {
+	for {
+		if e.stopped() {
+			return
+		}
 		workBefore := e.stats.Work
 		// ---------- Phase 1: comprehensive analysis ----------
 		bests := e.comprehensive()
+		if e.cancelled() {
+			return
+		}
 		if len(bests) == 0 || bests[0].Best.Err > e.opt.Threshold {
+			e.stats.StopReason = StopBudget
 			return
 		}
 		E0 := e.st.Error() // error at the start of this dual-phase iteration
@@ -244,6 +292,9 @@ func (e *engine) runDualPhase(selfAdapt bool) {
 		// ---------- Phase 2: incremental analysis ----------
 		sumEr := 0.0
 		for it := 0; it < N && !e.reachedCap(); it++ {
+			if e.cancelled() {
+				return
+			}
 			// Keep only still-live candidates.
 			live := scand[:0]
 			for _, v := range scand {
@@ -260,21 +311,31 @@ func (e *engine) runDualPhase(selfAdapt bool) {
 			// cache, recomputing only rows invalidated since the last
 			// analysis — §III-C's reuse, bit-identical to a full rebuild.
 			var res *cpm.Result
+			var err error
 			if e.cache != nil {
-				upd := e.cache.Rows(scand, e.opt.Threads)
+				upd, rerr := e.cache.RowsCtx(e.ctx, scand, e.opt.Threads)
+				err = rerr
 				res = upd.Res
 				e.stats.Work.CPM += upd.Work
 				e.stats.Work.CPMRowsReused += int64(upd.Reused)
 				e.stats.Work.CPMRowsRecomputed += int64(upd.Recomputed)
 			} else {
-				res = cpm.BuildDisjoint(e.g, e.s, e.cuts, scand, e.opt.Threads)
+				res, err = cpm.BuildDisjointCtx(e.ctx, e.g, e.s, e.cuts, scand, e.opt.Threads)
 				e.stats.Work.CPM += res.Work
 			}
 			t2 := time.Now()
 			e.stats.Step.CPM += t2.Sub(t1)
-			bests2, ew := lac.EvaluateTargets(e.gen, res, e.st, scand, e.opt.Threads)
+			if err != nil {
+				e.cancelled()
+				return
+			}
+			bests2, ew, err := lac.EvaluateTargetsCtx(e.ctx, e.gen, res, e.st, scand, e.opt.Threads)
 			e.stats.Step.Eval += time.Since(t2)
 			e.stats.Work.Eval += ew
+			if err != nil {
+				e.cancelled()
+				return
+			}
 			if len(bests2) == 0 || bests2[0].Best.Err > e.opt.Threshold {
 				break
 			}

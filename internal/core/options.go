@@ -103,6 +103,12 @@ type Options struct {
 	// MaxIters caps the number of applied LACs (safety; ≤0 = unlimited).
 	MaxIters int
 
+	// TimeLimit bounds the wall-clock time of a run (0 = unlimited).
+	// RunContext derives a deadline-carrying context from it; when the
+	// limit expires the run stops cooperatively at the next checkpoint and
+	// returns the best-so-far result with Stats.StopReason = StopDeadline.
+	TimeLimit time.Duration
+
 	// NoCPMCache disables the persistent incremental CPM cache of the
 	// dual-phase flows and rebuilds the phase-2 CPM from scratch every
 	// iteration (the pre-cache behaviour). Results are bit-identical either
@@ -133,6 +139,25 @@ func DefaultOptions(flow Flow, kind metric.Kind, threshold float64) Options {
 		Et:        0.5,
 	}
 }
+
+// StopReason tells why a synthesis run ended. Every run ends for exactly
+// one of these reasons; callers that impose deadlines use it to tell a
+// completed result from a best-so-far one.
+type StopReason string
+
+const (
+	// StopBudget: natural completion — no remaining LAC fits the error
+	// budget (or the circuit ran out of approximable nodes).
+	StopBudget StopReason = "budget"
+	// StopMaxIters: the Options.MaxIters safety cap was reached.
+	StopMaxIters StopReason = "max-iters"
+	// StopCancelled: the caller's context was cancelled; the result is the
+	// valid best-so-far circuit at the last checkpoint.
+	StopCancelled StopReason = "cancelled"
+	// StopDeadline: Options.TimeLimit (or a context deadline) expired; the
+	// result is the valid best-so-far circuit at the last checkpoint.
+	StopDeadline StopReason = "deadline"
+)
 
 // StepTimes records the cumulated runtime of the three error-analysis steps
 // of Fig. 3: (1) obtaining/updating disjoint cuts, (2) calculating the CPM,
@@ -183,6 +208,10 @@ type Stats struct {
 	Runtime     time.Duration
 	Step        StepTimes
 	Work        StepWork
+
+	// StopReason tells why the run ended (budget, max-iters, cancelled,
+	// deadline). Always set by Run/RunContext.
+	StopReason StopReason
 
 	// Self-adaption trajectory (DP-SA): the M value after each dual phase.
 	MTrace []int

@@ -1,6 +1,7 @@
 package cpm
 
 import (
+	"context"
 	"sort"
 
 	"dpals/internal/aig"
@@ -160,6 +161,17 @@ func (c *Cache) simulators(workers int) ([]*regionSimulator, []map[int32]bool) {
 // backing memory. The produced rows are bit-identical to
 // BuildDisjoint(g, s, cuts, nil, threads).
 func (c *Cache) Rebuild(cuts *cut.Set, threads int) Update {
+	upd, _ := c.RebuildCtx(context.Background(), cuts, threads)
+	return upd
+}
+
+// RebuildCtx is Rebuild with cooperative cancellation: the build checks
+// ctx at every wave boundary and stops early once it is cancelled,
+// returning ctx.Err(). On cancellation every row touched by this build is
+// released again (the cache is left consistent, holding no valid rows),
+// so the returned Update must be discarded; an uncancelled build is
+// bit-identical to Rebuild.
+func (c *Cache) RebuildCtx(ctx context.Context, cuts *cut.Set, threads int) (Update, error) {
 	c.cuts = cuts
 	for v := range c.res.rows {
 		if len(c.res.rows[v].Diffs) > 0 {
@@ -176,14 +188,14 @@ func (c *Cache) Rebuild(cuts *cut.Set, threads int) Update {
 			proc = append(proc, v)
 		}
 	}
-	c.runWaves(proc, threads)
+	err := c.runWaves(ctx, proc, threads)
 	c.recompute = proc[:0]
 	return Update{
 		Res:        c.res,
 		Needed:     len(proc),
 		Recomputed: len(proc),
 		Work:       c.res.Work - workBefore,
-	}
+	}, err
 }
 
 // Invalidate marks every row the applied LAC may have changed as stale and
@@ -251,6 +263,15 @@ func (c *Cache) Invalidate(cs aig.ChangeSet, changed, cutsRecomputed []int32) {
 // the cache. Row contents are bit-identical to a from-scratch
 // BuildDisjoint(g, s, cuts, targets, threads) for every thread count.
 func (c *Cache) Rows(targets []int32, threads int) Update {
+	upd, _ := c.RowsCtx(context.Background(), targets, threads)
+	return upd
+}
+
+// RowsCtx is Rows with cooperative cancellation, with the same contract
+// as RebuildCtx: on a non-nil error the recomputed rows of this call are
+// released again and the Update must be discarded, while previously valid
+// cached rows stay valid.
+func (c *Cache) RowsCtx(ctx context.Context, targets []int32, threads int) (Update, error) {
 	c.refreshPos()
 	workBefore := c.res.Work
 
@@ -278,7 +299,7 @@ func (c *Cache) Rows(targets []int32, threads int) Update {
 			proc = append(proc, v)
 		}
 	}
-	c.runWaves(proc, threads)
+	err := c.runWaves(ctx, proc, threads)
 	upd := Update{
 		Res:        c.res,
 		Needed:     len(need),
@@ -288,16 +309,21 @@ func (c *Cache) Rows(targets []int32, threads int) Update {
 	}
 	c.queue = need[:0]
 	c.recompute = proc[:0]
-	return upd
+	return upd, err
 }
 
 // runWaves recomputes the given stale rows over the wave scheduler of
 // package par and marks them valid. Rows outside the set are read-only
 // dependencies; within the set, a node is scheduled strictly after its
 // non-sink cut elements, exactly like BuildDisjoint.
-func (c *Cache) runWaves(proc []int32, threads int) {
+//
+// On cancellation it stops at the next wave boundary and releases every
+// row of the set again — a cancelled wave leaves some rows complete and
+// some untouched, and releasing them all restores the invariant that a
+// non-valid row is empty (so a later recompute appends onto a clean row).
+func (c *Cache) runWaves(ctx context.Context, proc []int32, threads int) error {
 	if len(proc) == 0 {
-		return
+		return nil
 	}
 	sort.Slice(proc, func(i, j int) bool { return c.pos[proc[i]] > c.pos[proc[j]] })
 	for _, v := range proc {
@@ -327,13 +353,25 @@ func (c *Cache) runWaves(proc []int32, threads int) {
 	b := &disjointBuilder{g: c.g, s: c.s, cuts: c.cuts, res: c.res, pool: c.pool}
 	workers := par.ScratchSlots(threads, len(proc))
 	rss, cutSets := c.simulators(workers)
+	var err error
 	for _, wave := range waves {
-		par.ForEach(threads, wave, func(w int, v int32) {
+		if err = par.ForEachCtx(ctx, threads, wave, func(w int, v int32) {
 			b.processNode(rss[w], cutSets[w], v)
-		})
+		}); err != nil {
+			break
+		}
 	}
 	for _, v := range proc {
 		c.inSet[v] = false
+		if err != nil {
+			if len(c.res.rows[v].Diffs) > 0 {
+				c.releaseRow(v)
+			} else {
+				c.valid[v] = false
+			}
+			continue
+		}
 		c.valid[v] = true
 	}
+	return err
 }

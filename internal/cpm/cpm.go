@@ -18,6 +18,7 @@
 package cpm
 
 import (
+	"context"
 	"sort"
 	"sync/atomic"
 
@@ -351,6 +352,16 @@ func (b *disjointBuilder) processNode(rs *regionSimulator, cutSet map[int32]bool
 // its non-sink cut elements, read-only simulation values, and the shared
 // cut set — and the result is bit-identical for every thread count.
 func BuildDisjoint(g *aig.Graph, s *sim.Sim, cuts *cut.Set, targets []int32, threads int) *Result {
+	res, _ := BuildDisjointCtx(context.Background(), g, s, cuts, targets, threads)
+	return res
+}
+
+// BuildDisjointCtx is BuildDisjoint with cooperative cancellation: the
+// build checks ctx at every wave boundary and stops early once it is
+// cancelled, returning the partial result alongside ctx.Err(). A non-nil
+// error means the rows are incomplete and must be discarded; an
+// uncancelled build is bit-identical to BuildDisjoint.
+func BuildDisjointCtx(ctx context.Context, g *aig.Graph, s *sim.Sim, cuts *cut.Set, targets []int32, threads int) (*Result, error) {
 	res := &Result{Words: s.Words(), rows: make([]Row, g.NumVars())}
 
 	var procList []int32
@@ -414,11 +425,13 @@ func BuildDisjoint(g *aig.Graph, s *sim.Sim, cuts *cut.Set, targets []int32, thr
 		cutSets[w] = make(map[int32]bool)
 	}
 	for _, wave := range waves {
-		par.ForEach(threads, wave, func(w int, v int32) {
+		if err := par.ForEachCtx(ctx, threads, wave, func(w int, v int32) {
 			b.processNode(rss[w], cutSets[w], v)
-		})
+		}); err != nil {
+			return res, err
+		}
 	}
-	return res
+	return res, nil
 }
 
 // ReachSets computes, for every variable, the bitset of PO indices
@@ -542,6 +555,13 @@ func (b *vecbeeBuilder) processNode(rs *regionSimulator, depth map[int32]int, v 
 // threads follows the pipeline-wide semantics of package par (≤0: all
 // CPUs, 1: serial); the result is bit-identical for every thread count.
 func BuildVECBEE(g *aig.Graph, s *sim.Sim, l int, targets []int32, threads int) *Result {
+	res, _ := BuildVECBEECtx(context.Background(), g, s, l, targets, threads)
+	return res
+}
+
+// BuildVECBEECtx is BuildVECBEE with cooperative cancellation, with the
+// same partial-result contract as BuildDisjointCtx.
+func BuildVECBEECtx(ctx context.Context, g *aig.Graph, s *sim.Sim, l int, targets []int32, threads int) (*Result, error) {
 	res := &Result{Words: s.Words(), rows: make([]Row, g.NumVars())}
 	keep := make([]bool, g.NumVars())
 	if targets == nil {
@@ -598,9 +618,11 @@ func BuildVECBEE(g *aig.Graph, s *sim.Sim, l int, targets []int32, threads int) 
 		depths[w] = make(map[int32]int)
 	}
 	for _, wave := range waves {
-		par.ForEach(threads, wave, func(w int, v int32) {
+		if err := par.ForEachCtx(ctx, threads, wave, func(w int, v int32) {
 			b.processNode(rss[w], depths[w], v)
-		})
+		}); err != nil {
+			return res, err
+		}
 	}
-	return res
+	return res, nil
 }

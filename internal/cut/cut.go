@@ -19,6 +19,7 @@
 package cut
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -66,6 +67,16 @@ func (s *Set) Work() int64 { return atomic.LoadInt64(&s.work) }
 // pipeline-wide semantics of package par (≤0: all CPUs, 1: serial); the
 // result is identical for every thread count.
 func NewSet(g *aig.Graph, threads int) *Set {
+	s, _ := NewSetCtx(context.Background(), g, threads)
+	return s
+}
+
+// NewSetCtx is NewSet with cooperative cancellation: the build checks ctx
+// at wave boundaries (and per node in serial mode) and stops early once it
+// is cancelled, returning the partial set alongside ctx.Err(). A non-nil
+// error means the set is incomplete and must be discarded; an uncancelled
+// build is bit-identical to NewSet.
+func NewSetCtx(ctx context.Context, g *aig.Graph, threads int) (*Set, error) {
 	s := &Set{
 		g:       g,
 		poWords: bitvec.Words(g.NumPOs()),
@@ -74,22 +85,25 @@ func NewSet(g *aig.Graph, threads int) *Set {
 	s.tmp = bitvec.NewWords(s.poWords)
 	if par.Workers(threads) <= 1 {
 		order := g.Topo()
+		rev := make([]int32, 0, len(order))
 		for i := len(order) - 1; i >= 0; i-- {
-			v := order[i]
-			if g.IsAnd(v) {
-				s.recompute(v)
+			if v := order[i]; g.IsAnd(v) {
+				rev = append(rev, v)
 			}
 		}
-		return s
+		err := par.ForCtx(ctx, 1, len(rev), func(_, i int) { s.recompute(rev[i]) })
+		return s, err
 	}
 	// recompute(v) only reads state of nodes in v's transitive fanout and
 	// only writes v's own entries, so the nodes of one reverse-topological
 	// level are independent: fan each level out, with a barrier between
 	// levels so fanout-side cuts are complete (and visible) before use.
 	for _, level := range g.ReverseLevels() {
-		par.ForEach(threads, level, func(_ int, v int32) { s.recompute(v) })
+		if err := par.ForEachCtx(ctx, threads, level, func(_ int, v int32) { s.recompute(v) }); err != nil {
+			return s, err
+		}
 	}
-	return s
+	return s, nil
 }
 
 func (s *Set) grow() {

@@ -13,6 +13,7 @@
 package lac
 
 import (
+	"context"
 	"math/bits"
 	"sort"
 	"sync/atomic"
@@ -293,6 +294,15 @@ type NodeBest struct {
 // thread count: each worker evaluates whole targets with private scratch
 // and writes only its target's slot.
 func EvaluateTargets(gen *Generator, res *cpm.Result, st *metric.State, targets []int32, threads int) ([]NodeBest, int64) {
+	bests, work, _ := EvaluateTargetsCtx(context.Background(), gen, res, st, targets, threads)
+	return bests, work
+}
+
+// EvaluateTargetsCtx is EvaluateTargets with cooperative cancellation: it
+// stops handing out targets once ctx is cancelled and returns ctx.Err()
+// alongside the partial (unsorted, incomplete) bests, which the caller
+// must discard. An uncancelled run is bit-identical to EvaluateTargets.
+func EvaluateTargetsCtx(ctx context.Context, gen *Generator, res *cpm.Result, st *metric.State, targets []int32, threads int) ([]NodeBest, int64, error) {
 	cands := make([][]LAC, len(targets))
 	for i, v := range targets {
 		if res.Has(v) {
@@ -304,7 +314,7 @@ func EvaluateTargets(gen *Generator, res *cpm.Result, st *metric.State, targets 
 	workers := par.ScratchSlots(threads, len(targets))
 	evs := make([]*metric.Evaluator, workers)
 	masks := make([]bitvec.Vec, workers)
-	par.For(threads, len(targets), func(w, i int) {
+	err := par.ForCtx(ctx, threads, len(targets), func(w, i int) {
 		if evs[w] == nil {
 			evs[w] = st.NewEvaluator()
 			masks[w] = bitvec.NewWords(gen.s.Words())
@@ -328,6 +338,9 @@ func EvaluateTargets(gen *Generator, res *cpm.Result, st *metric.State, targets 
 		out[i] = nb
 		atomic.AddInt64(&work, wk)
 	})
+	if err != nil {
+		return out, work, err
+	}
 	// Drop targets with no evaluated candidate, sort by error.
 	kept := out[:0]
 	for _, nb := range out {
@@ -344,5 +357,5 @@ func EvaluateTargets(gen *Generator, res *cpm.Result, st *metric.State, targets 
 		}
 		return kept[a].Node < kept[b].Node
 	})
-	return kept, work
+	return kept, work, nil
 }

@@ -15,10 +15,25 @@
 // item index, so writing out[i] from the worker that processed item i
 // yields output that is bit-identical to a serial pass regardless of the
 // worker count or scheduling order.
+//
+// Two failure paths are handled for every fan-out:
+//
+//   - A callback panic is recovered inside the worker, the remaining
+//     workers drain (no new items are handed out), and the first panic is
+//     re-raised on the calling goroutine as an item-attributed *Panic —
+//     recoverable by the caller, instead of an unjoined WaitGroup killing
+//     the whole process.
+//   - ForCtx/ForEachCtx take a context and stop handing out items once it
+//     is cancelled, returning ctx.Err(). Per-item results computed before
+//     the cancel are valid; the overall output is partial and the caller
+//     must discard it (uncancelled runs are bit-identical to For).
 package par
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -33,6 +48,42 @@ func Workers(threads int) int {
 	return threads
 }
 
+// Panic carries a panic that escaped a For/ForCtx callback: the index of
+// the item whose callback panicked, the original panic value, and the
+// stack of the panicking goroutine. For re-raises it on the calling
+// goroutine, so `recover()` there observes a *Panic and can attribute the
+// failure to one item. Panic also implements error for callers that
+// prefer to convert it.
+type Panic struct {
+	Item  int
+	Value any
+	Stack []byte
+}
+
+func (p *Panic) Error() string {
+	return fmt.Sprintf("par: callback panicked on item %d: %v", p.Item, p.Value)
+}
+
+// Unwrap exposes the original panic value when it was an error.
+func (p *Panic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// call invokes fn(worker, i), converting a callback panic into an
+// item-attributed *Panic instead of letting it unwind the worker.
+func call(fn func(worker, i int), worker, i int) (p *Panic) {
+	defer func() {
+		if r := recover(); r != nil {
+			p = &Panic{Item: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	fn(worker, i)
+	return nil
+}
+
 // For runs fn(worker, i) for every i in [0, n), fanned out over
 // Workers(threads) workers (never more than n), and returns when all
 // calls have finished. Items are handed out dynamically, so callers must
@@ -43,38 +94,92 @@ func Workers(threads int) int {
 // The worker argument is in [0, effective workers) and is stable for the
 // lifetime of one goroutine, making it safe to index per-worker scratch
 // allocated with one slot per worker (see ScratchSlots).
+//
+// A panicking callback re-raises as a *Panic on the caller; see Panic.
 func For(threads, n int, fn func(worker, i int)) {
+	forCtx(nil, threads, n, fn)
+}
+
+// ForCtx is For with cooperative cancellation: once ctx is cancelled, no
+// new items are handed out, in-flight callbacks finish, and ForCtx
+// returns ctx.Err(). A non-nil return means the run is partial — callers
+// must discard the output. An uncancelled run is bit-identical to For and
+// returns nil.
+func ForCtx(ctx context.Context, threads, n int, fn func(worker, i int)) error {
+	return forCtx(ctx, threads, n, fn)
+}
+
+// ForEach is For over a slice: fn(worker, item) for every item.
+func ForEach[T any](threads int, items []T, fn func(worker int, item T)) {
+	For(threads, len(items), func(w, i int) { fn(w, items[i]) })
+}
+
+// ForEachCtx is ForCtx over a slice.
+func ForEachCtx[T any](ctx context.Context, threads int, items []T, fn func(worker int, item T)) error {
+	return ForCtx(ctx, threads, len(items), func(w, i int) { fn(w, items[i]) })
+}
+
+// forCtx is the shared implementation; a nil ctx is never cancelled.
+func forCtx(ctx context.Context, threads, n int, fn func(worker, i int)) error {
+	done := func() bool { return ctx != nil && ctx.Err() != nil }
 	workers := Workers(threads)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(0, i)
+			if done() {
+				return ctx.Err()
+			}
+			if p := call(fn, 0, i); p != nil {
+				panic(p)
+			}
 		}
-		return
+		if done() {
+			return ctx.Err()
+		}
+		return nil
 	}
-	var next int64
-	var wg sync.WaitGroup
+	var (
+		next int64
+		stop atomic.Bool
+		mu   sync.Mutex
+		pan  *Panic
+		wg   sync.WaitGroup
+	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(worker int) {
 			defer wg.Done()
-			for {
+			for !stop.Load() {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					return
 				}
-				fn(worker, i)
+				if done() {
+					stop.Store(true)
+					return
+				}
+				if p := call(fn, worker, i); p != nil {
+					mu.Lock()
+					if pan == nil {
+						pan = p
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
-}
-
-// ForEach is For over a slice: fn(worker, item) for every item.
-func ForEach[T any](threads int, items []T, fn func(worker int, item T)) {
-	For(threads, len(items), func(w, i int) { fn(w, items[i]) })
+	if pan != nil {
+		panic(pan)
+	}
+	if done() {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // ScratchSlots returns the number of per-worker scratch slots a caller

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -100,5 +101,86 @@ func TestForEachPassesItems(t *testing.T) {
 		if c != 1 {
 			t.Errorf("item %d seen %d times", i, c)
 		}
+	}
+}
+
+// A panicking callback must surface as a recoverable, item-attributed
+// *Panic on the caller — not crash the process from a worker goroutine.
+// This is a regression test: the pre-hardening pool let worker panics
+// escape on their own goroutine, killing the process mid-WaitGroup.
+func TestForCallbackPanicIsRecoverable(t *testing.T) {
+	for _, threads := range []int{1, 4, 0} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("threads=%d: panic did not propagate", threads)
+				}
+				p, ok := r.(*Panic)
+				if !ok {
+					t.Fatalf("threads=%d: recovered %T, want *par.Panic", threads, r)
+				}
+				if p.Item != 13 {
+					t.Errorf("threads=%d: panic attributed to item %d, want 13", threads, p.Item)
+				}
+				if p.Value != "boom" {
+					t.Errorf("threads=%d: panic value %v, want \"boom\"", threads, p.Value)
+				}
+				if len(p.Stack) == 0 {
+					t.Errorf("threads=%d: panic carries no stack", threads)
+				}
+			}()
+			For(threads, 64, func(_, i int) {
+				if i == 13 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+// After a worker panics, the pool must drain: no goroutine may be left
+// blocked, and the remaining items are simply not processed.
+func TestForPanicStopsRemainingWork(t *testing.T) {
+	var processed int32
+	func() {
+		defer func() { recover() }()
+		For(4, 10000, func(_, i int) {
+			if i == 0 {
+				panic("first")
+			}
+			atomic.AddInt32(&processed, 1)
+		})
+	}()
+	if n := atomic.LoadInt32(&processed); n >= 10000 {
+		t.Errorf("pool processed all %d items despite the panic", n)
+	}
+}
+
+func TestForCtxCancellation(t *testing.T) {
+	for _, threads := range []int{1, 4, 0} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var processed int32
+		err := ForCtx(ctx, threads, 100000, func(_, i int) {
+			if atomic.AddInt32(&processed, 1) == 50 {
+				cancel()
+			}
+		})
+		cancel()
+		if err != context.Canceled {
+			t.Errorf("threads=%d: ForCtx = %v, want context.Canceled", threads, err)
+		}
+		if n := atomic.LoadInt32(&processed); n >= 100000 {
+			t.Errorf("threads=%d: all items ran despite cancellation", threads)
+		}
+	}
+}
+
+func TestForCtxNilAndUncancelled(t *testing.T) {
+	if err := ForCtx(nil, 4, 100, func(_, i int) {}); err != nil {
+		t.Errorf("nil ctx: %v", err)
+	}
+	if err := ForCtx(context.Background(), 4, 100, func(_, i int) {}); err != nil {
+		t.Errorf("background ctx: %v", err)
 	}
 }
