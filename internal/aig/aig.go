@@ -156,6 +156,11 @@ func (g *Graph) SetPO(i int, l Lit) {
 // PIName returns the name of the i-th primary input.
 func (g *Graph) PIName(i int) string { return g.piNames[i] }
 
+// RenamePI sets the name of the i-th primary input. Names are cosmetic —
+// only symbol tables and word-level evaluation helpers read them — so a
+// rename never invalidates derived state.
+func (g *Graph) RenamePI(i int, name string) { g.piNames[i] = name }
+
 // POName returns the name of the i-th primary output.
 func (g *Graph) POName(i int) string { return g.poNames[i] }
 

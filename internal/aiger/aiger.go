@@ -228,6 +228,11 @@ func Read(r io.Reader) (*aig.Graph, error) {
 			continue
 		}
 		if s == "c" {
+			// Write emits the circuit name as the first comment line;
+			// recover it so write∘read is an identity on our own files.
+			if name, err := readLine(); err == nil && name != "" {
+				g.Name = name
+			}
 			break
 		}
 		switch s[0] {
@@ -258,7 +263,11 @@ func Read(r io.Reader) (*aig.Graph, error) {
 		}
 		g.AddPO(l, name)
 	}
-	_ = piNames // PI names in aig.Graph are fixed at AddPI time; renames are cosmetic
+	for idx, name := range piNames {
+		if idx >= 0 && idx < g.NumPIs() && name != "" {
+			g.RenamePI(idx, name)
+		}
+	}
 	return g.Sweep(), nil
 }
 

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"dpals/internal/aig"
 	"dpals/internal/bitvec"
 	"dpals/internal/cpm"
 	"dpals/internal/cut"
+	"dpals/internal/fault"
 	"dpals/internal/lac"
 	"dpals/internal/metric"
 	"dpals/internal/sim"
@@ -98,7 +100,14 @@ func RunContext(ctx context.Context, g *aig.Graph, opt Options) (*Result, error)
 	e.stats.Runtime = time.Since(start)
 	e.stats.NodesAfter = e.g.NumAnds()
 	out := e.g.Sweep()
-	return &Result{Graph: out, Error: e.st.Error(), Stats: e.stats}, nil
+	finalErr := e.st.Error()
+	if opt.Fault.Fire(fault.MisreportError) {
+		// Seeded reporting bug: the circuit is faithful but the reported
+		// error is not — the oracle's recompute-on-the-returned-circuit
+		// cross-check must catch exactly this.
+		finalErr += 1e-3 * (1 + math.Abs(finalErr))
+	}
+	return &Result{Graph: out, Error: finalErr, Stats: e.stats}, nil
 }
 
 // engine holds the mutable synthesis state shared by all flows.
@@ -119,8 +128,11 @@ type engine struct {
 	incCuts   bool // maintain cuts incrementally on apply (dual-phase flows)
 }
 
-// simOptions builds the simulator configuration for a graph under opt.
-func simOptions(g *aig.Graph, opt Options) (sim.Options, error) {
+// SimOptions builds the simulator configuration a run of g under opt uses
+// to draw its Monte-Carlo (or exhaustive) patterns. Exported so the
+// verification oracle (internal/oracle) can recompute the sampled error of
+// a returned circuit on exactly the patterns the run trained on.
+func SimOptions(g *aig.Graph, opt Options) (sim.Options, error) {
 	so := sim.Options{Patterns: opt.Patterns, Seed: opt.Seed, Threads: opt.Threads}
 	if opt.Exhaustive {
 		if g.NumPIs() > 24 {
@@ -146,7 +158,7 @@ func newEngine(orig *aig.Graph, opt Options) (*engine, error) {
 	if g.NumAnds() == 0 {
 		return nil, errors.New("core: circuit has no AND nodes to approximate")
 	}
-	simOpt, err := simOptions(g, opt)
+	simOpt, err := SimOptions(g, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -185,6 +197,10 @@ func (e *engine) liveTargets() []int32 {
 	return out
 }
 
+// fire consults the run's fault plan (nil in every production run) at one
+// injection opportunity; see internal/fault.
+func (e *engine) fire(k fault.Kind) bool { return e.opt.Fault.Fire(k) }
+
 // apply commits a LAC: rewires the graph, incrementally resimulates, folds
 // the PO changes into the metric state, repairs the cuts and the SASIMI
 // index. It returns the change set.
@@ -192,10 +208,18 @@ func (e *engine) apply(l lac.LAC) aig.ChangeSet {
 	cs := e.g.ReplaceWithLit(l.Target, l.NewLit)
 	// changed is simulator-owned scratch, valid only until the next
 	// ResimulateFrom call — consumed below before anything resimulates.
-	changed := e.s.ResimulateFrom(cs.Rewired)
-	for o := 0; o < e.g.NumPOs(); o++ {
-		e.s.POVal(o, e.poScratch)
-		e.st.CommitPO(o, e.poScratch)
+	var changed []int32
+	if !e.fire(fault.SkipResim) {
+		changed = e.s.ResimulateFrom(cs.Rewired)
+	}
+	if len(changed) > 0 && e.fire(fault.FlipSimBit) {
+		e.s.Val(changed[0])[0] ^= 1
+	}
+	if !e.fire(fault.SkipMetricCommit) {
+		for o := 0; o < e.g.NumPOs(); o++ {
+			e.s.POVal(o, e.poScratch)
+			e.st.CommitPO(o, e.poScratch)
+		}
 	}
 	if e.cuts != nil && e.incCuts {
 		t0 := time.Now()
@@ -203,7 +227,7 @@ func (e *engine) apply(l lac.LAC) aig.ChangeSet {
 		sv := e.cuts.UpdateAfter(cs)
 		e.stats.Step.Cuts += time.Since(t0)
 		e.stats.Work.Cuts += e.cuts.Work() - w0
-		if e.cache != nil {
+		if e.cache != nil && !e.fire(fault.SkipCPMInvalidate) {
 			e.cache.Invalidate(cs, changed, sv)
 		}
 	}
@@ -267,7 +291,7 @@ func (e *engine) snapshot() snapshot { return snapshot{g: e.g.Clone()} }
 // state (simulation, metric, cuts, generator) from scratch.
 func (e *engine) restore(sn snapshot) {
 	e.g = sn.g
-	simOpt, _ := simOptions(e.g, e.opt) // validated at construction
+	simOpt, _ := SimOptions(e.g, e.opt) // validated at construction
 	e.s = sim.New(e.g, simOpt)
 	weights := e.opt.Weights
 	if weights == nil && e.opt.Metric.Numeric() {

@@ -6,6 +6,7 @@ import (
 
 	"dpals/internal/cpm"
 	"dpals/internal/cut"
+	"dpals/internal/fault"
 	"dpals/internal/lac"
 )
 
@@ -52,6 +53,9 @@ func (e *engine) comprehensive() []lac.NodeBest {
 	e.stats.Step.CPM += t2.Sub(t1)
 	if err != nil {
 		return nil
+	}
+	if e.fire(fault.FlipDiffBit) {
+		res.FlipDiffBit(e.opt.Fault.Opportunities())
 	}
 	bests, ew, err := lac.EvaluateTargetsCtx(e.ctx, e.gen, res, e.st, e.liveTargets(), e.opt.Threads)
 	e.stats.Step.Eval += time.Since(t2)
@@ -105,6 +109,9 @@ func (e *engine) runVECBEE() {
 		if err != nil {
 			e.cancelled()
 			return
+		}
+		if e.fire(fault.FlipDiffBit) {
+			res.FlipDiffBit(e.opt.Fault.Opportunities())
 		}
 		bests, ew, err := lac.EvaluateTargetsCtx(e.ctx, e.gen, res, e.st, e.liveTargets(), e.opt.Threads)
 		e.stats.Step.Eval += time.Since(t2)
@@ -328,6 +335,9 @@ func (e *engine) runDualPhase(selfAdapt bool) {
 			if err != nil {
 				e.cancelled()
 				return
+			}
+			if e.fire(fault.FlipDiffBit) {
+				res.FlipDiffBit(e.opt.Fault.Opportunities())
 			}
 			bests2, ew, err := lac.EvaluateTargetsCtx(e.ctx, e.gen, res, e.st, scand, e.opt.Threads)
 			e.stats.Step.Eval += time.Since(t2)

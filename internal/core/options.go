@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"time"
 
+	"dpals/internal/fault"
 	"dpals/internal/lac"
 	"dpals/internal/metric"
 )
@@ -120,6 +121,15 @@ type Options struct {
 	// evaluation of the iteration (phase-2 iterations only see the
 	// candidate set S_cand). Used by the Fig. 4 experiment.
 	OnIteration func(iter int, chosen lac.NodeBest, bests []lac.NodeBest)
+
+	// Fault, when non-nil, injects one deliberate bookkeeping mutation
+	// into the run (see internal/fault): the engine consults the plan at
+	// its bookkeeping sites and corrupts its state exactly once. Used only
+	// by the alscheck differential-verification campaign to prove the
+	// oracle cross-checks detect real engine bugs; nil — the default and
+	// the only production value — is a faithful run. Plans are single-use:
+	// never share one across runs.
+	Fault *fault.Plan
 }
 
 // DefaultOptions returns the paper's experimental configuration for the

@@ -63,6 +63,35 @@ func (r *Result) Row(v int32) *Row { return &r.rows[v] }
 // Has reports whether node v has a retained row.
 func (r *Result) Has(v int32) bool { return len(r.rows[v].POs) > 0 }
 
+// FlipDiffBit flips one bit of one retained row's diff vector — the row
+// selected by site (mod the retained-row count) and, within it, a bit of
+// the first diff word cycled by site — and reports whether a bit was
+// flipped. It exists solely for the fault-seeding mode of the
+// differential-verification campaign (internal/fault, cmd/alscheck): a
+// seeded single-bit CPM corruption the oracle cross-checks must detect.
+// Indexing by an injection site lets the campaign's Nth-scan explore
+// corruption of different rows, not just the first one. Production code
+// never calls it.
+func (r *Result) FlipDiffBit(site int) bool {
+	if site < 0 {
+		site = 0
+	}
+	var retained []int32
+	for v := range r.rows {
+		row := &r.rows[v]
+		if len(row.Diffs) > 0 && len(row.Diffs[0]) > 0 {
+			retained = append(retained, int32(v))
+		}
+	}
+	if len(retained) == 0 {
+		return false
+	}
+	row := &r.rows[retained[site%len(retained)]]
+	bit := uint(site/len(retained)) % 64
+	row.Diffs[0][0] ^= 1 << bit
+	return true
+}
+
 // Closure computes N(S_cand) per §III-C: starting from the targets, every
 // node whose CPM entries are needed to derive the targets' entries — the
 // transitive closure of targets under disjoint-cut membership (sinks

@@ -129,6 +129,13 @@ func WCEAtMost(orig, approx *aig.Graph, t uint64) (bool, []bool, error) {
 	if orig.NumPOs() > 63 {
 		return false, nil, errors.New("equiv: WCE certification limited to ≤ 63 outputs")
 	}
+	// |orig − approx| ≤ 2^K − 1 always; a threshold at or above that is
+	// trivially satisfied. This also guards the miter construction, whose
+	// threshold word is only K bits wide — encoding a larger t there would
+	// silently truncate it mod 2^K and report a spurious violation.
+	if maxDiff := uint64(1)<<uint(orig.NumPOs()) - 1; t >= maxDiff {
+		return true, nil, nil
+	}
 	m := buildWCEMiter(orig, approx, t)
 	s := sat.New()
 	piVars := make([]int, m.NumPIs())

@@ -1,0 +1,71 @@
+package fault
+
+import "testing"
+
+func TestNilPlanNeverFires(t *testing.T) {
+	var p *Plan
+	for i := 0; i < 3; i++ {
+		if p.Fire(SkipResim) {
+			t.Fatal("nil plan fired")
+		}
+	}
+	if p.Fired() {
+		t.Fatal("nil plan reports fired")
+	}
+	if p.Opportunities() != 0 {
+		t.Fatal("nil plan counts opportunities")
+	}
+}
+
+func TestFiresExactlyNth(t *testing.T) {
+	p := New(FlipDiffBit, 3)
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		if p.Fire(FlipDiffBit) {
+			fired++
+			if i != 3 {
+				t.Fatalf("fired at opportunity %d, want 3", i)
+			}
+		}
+		// Other kinds never consume or trigger this plan.
+		if p.Fire(SkipResim) {
+			t.Fatal("fired for mismatched kind")
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d times, want exactly 1", fired)
+	}
+	if !p.Fired() {
+		t.Fatal("plan does not report fired")
+	}
+	if p.Opportunities() != 10 {
+		t.Fatalf("opportunities = %d, want 10", p.Opportunities())
+	}
+}
+
+func TestNthZeroBehavesLikeFirst(t *testing.T) {
+	p := New(SkipMetricCommit, 0)
+	if !p.Fire(SkipMetricCommit) {
+		t.Fatal("Nth=0 did not fire at the first opportunity")
+	}
+	if p.Fire(SkipMetricCommit) {
+		t.Fatal("fired twice")
+	}
+}
+
+func TestKindsStable(t *testing.T) {
+	a, b := Kinds(), Kinds()
+	if len(a) != 6 {
+		t.Fatalf("want 6 kinds, got %d", len(a))
+	}
+	seen := map[Kind]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Kinds order not stable")
+		}
+		if a[i] == None || seen[a[i]] {
+			t.Fatalf("invalid or duplicate kind %q", a[i])
+		}
+		seen[a[i]] = true
+	}
+}

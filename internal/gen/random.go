@@ -1,0 +1,87 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dpals/internal/aig"
+)
+
+// Random returns a reproducible pseudo-random AIG: pis primary inputs,
+// up to pos primary outputs and roughly ands AND nodes (structural hashing
+// and the final sweep may merge or drop some). The same seed always yields
+// a byte-identical circuit, which is what lets the alscheck campaign
+// replay any failing case from its seed alone.
+//
+// The construction biases AND operands and PO drivers toward recently
+// created nodes, so the graphs have real depth and shared logic instead of
+// degenerating into a flat forest of independent gates.
+func Random(seed int64, pis, pos, ands int) *aig.Graph {
+	if pis < 1 {
+		pis = 1
+	}
+	if pos < 1 {
+		pos = 1
+	}
+	if ands < 1 {
+		ands = 1
+	}
+	for attempt := 0; ; attempt++ {
+		g := randomOnce(seed+int64(attempt)*0x9e3779b9, pis, pos, ands)
+		// Flows need at least one live AND node; an unlucky draw whose POs
+		// all collapse to constants or PIs is redrawn deterministically.
+		if g.NumAnds() > 0 || attempt >= 16 {
+			g.Name = fmt.Sprintf("rand-s%d-i%d-o%d-a%d", seed, pis, pos, ands)
+			return g
+		}
+	}
+}
+
+func randomOnce(seed int64, pis, pos, ands int) *aig.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder("rand")
+	lits := make([]aig.Lit, 0, pis+ands)
+	for i := 0; i < pis; i++ {
+		lits = append(lits, b.InputBit(fmt.Sprintf("x%d", i)))
+	}
+	// pick draws an operand, favouring the tail of the creation order.
+	pick := func() aig.Lit {
+		n := len(lits)
+		var idx int
+		if rng.Intn(2) == 0 {
+			w := 8
+			if w > n {
+				w = n
+			}
+			idx = n - 1 - rng.Intn(w)
+		} else {
+			idx = rng.Intn(n)
+		}
+		return lits[idx].NotIf(rng.Intn(2) == 1)
+	}
+	made := 0
+	for tries := 0; made < ands && tries < 8*ands; tries++ {
+		before := b.G.NumAnds()
+		l := b.G.And(pick(), pick())
+		if b.G.NumAnds() > before {
+			lits = append(lits, aig.MakeLit(l.Var(), false))
+			made++
+		}
+	}
+	// POs read from the recent tail so most of the logic stays live; the
+	// first PO pins the newest node, anchoring the deepest cone.
+	tail := 2*pos + 4
+	if tail > len(lits) {
+		tail = len(lits)
+	}
+	for o := 0; o < pos; o++ {
+		var l aig.Lit
+		if o == 0 {
+			l = lits[len(lits)-1]
+		} else {
+			l = lits[len(lits)-1-rng.Intn(tail)]
+		}
+		b.G.AddPO(l.NotIf(rng.Intn(2) == 1), fmt.Sprintf("y%d", o))
+	}
+	return b.G.Sweep()
+}

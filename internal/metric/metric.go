@@ -79,6 +79,42 @@ func TwosComplementWeights(n int) Weights {
 // thresholds multiples of R².
 func ReferenceError(k int) float64 { return math.Pow(2, float64(k)/3) }
 
+// MaxDeviation returns the largest value the per-pattern contribution of
+// the metric can take for a circuit with numPOs outputs: 1 for ER (a
+// pattern either mismatches or not), numPOs for MHD, Σ|w| for MED, and
+// (Σ|w|)² for MSE. This is the range that makes Hoeffding's inequality
+// applicable to the Monte-Carlo estimate, which is the mean of n
+// independent per-pattern contributions bounded in [0, MaxDeviation].
+func MaxDeviation(kind Kind, weights Weights, numPOs int) float64 {
+	switch kind {
+	case ER:
+		return 1
+	case MHD:
+		return float64(numPOs)
+	}
+	sum := 0.0
+	for _, w := range weights {
+		sum += math.Abs(w)
+	}
+	if kind == MSE {
+		return sum * sum
+	}
+	return sum
+}
+
+// HoeffdingDelta returns the deviation t such that a mean of n independent
+// samples bounded in [0, rang] differs from its expectation by more than t
+// with probability at most alpha: t = rang·√(ln(2/alpha)/(2n)). The oracle
+// cross-check uses it to bound how far a Monte-Carlo metric estimate may
+// legitimately sit from the exhaustively enumerated exact value; a larger
+// gap is a miscounting bug, not sampling noise.
+func HoeffdingDelta(rang float64, n int, alpha float64) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	return rang * math.Sqrt(math.Log(2/alpha)/(2*float64(n)))
+}
+
 // State tracks the error of an evolving approximate circuit against a fixed
 // exact reference.
 type State struct {

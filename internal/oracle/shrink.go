@@ -1,0 +1,159 @@
+package oracle
+
+import (
+	"dpals/internal/aig"
+)
+
+// Predicate reports whether a candidate circuit still exhibits the
+// failure being shrunk. It must be deterministic: the shrinker calls it
+// on many variants and keeps any for which it returns true.
+type Predicate func(*aig.Graph) bool
+
+// ShrinkOptions bounds a shrink run.
+type ShrinkOptions struct {
+	// MaxTrials caps predicate evaluations (≤0: 400). Each candidate costs
+	// one full campaign run, so the cap is the shrinker's time budget.
+	MaxTrials int
+}
+
+// Shrink greedily minimises a failing circuit: starting from g (for which
+// fails must return true), it repeatedly tries to drop primary outputs,
+// replace AND nodes by a constant or one of their own fanins, and drop
+// disconnected primary inputs — keeping any simplification under which
+// the failure persists, and restarting the pass after every acceptance
+// (delta-debugging style: earlier moves often become possible again once
+// the circuit changed). It returns the smallest failing circuit found and
+// the number of predicate trials spent. The result always keeps at least
+// one AND node and one PO so it remains a runnable synthesis input.
+func Shrink(g *aig.Graph, fails Predicate, opt ShrinkOptions) (*aig.Graph, int) {
+	maxTrials := opt.MaxTrials
+	if maxTrials <= 0 {
+		maxTrials = 400
+	}
+	cur := g.Sweep()
+	trials := 0
+	try := func(cand *aig.Graph) bool {
+		if trials >= maxTrials {
+			return false
+		}
+		trials++
+		if fails(cand) {
+			cur = cand
+			return true
+		}
+		return false
+	}
+	for pass := true; pass && trials < maxTrials; {
+		pass = false
+		// Drop primary outputs, largest index first so names stay stable.
+		for o := cur.NumPOs() - 1; o >= 0 && cur.NumPOs() > 1; o-- {
+			if try(dropPO(cur, o)) {
+				pass = true
+				break
+			}
+		}
+		if pass {
+			continue
+		}
+		// Replace AND nodes: constants first (removes the whole MFFC), then
+		// fanin forwarding (removes one level). Reverse topological order
+		// attacks the PO-side logic first, where a single acceptance
+		// strands the deepest cones.
+		topo := cur.Topo()
+		for i := len(topo) - 1; i >= 0 && !pass; i-- {
+			v := topo[i]
+			if !cur.IsAnd(v) {
+				continue
+			}
+			f0, f1 := cur.Fanins(v)
+			for _, rep := range []aig.Lit{aig.False, aig.False.Not(), f0, f1} {
+				if rep.Var() == v {
+					continue
+				}
+				cand := replaceAnd(cur, v, rep)
+				if cand.NumAnds() < 1 {
+					continue // must stay a runnable synthesis input
+				}
+				if try(cand) {
+					pass = true
+					break
+				}
+			}
+		}
+		if pass {
+			continue
+		}
+		// Drop primary inputs nothing reads any more.
+		if cand, changed := dropUnusedPIs(cur); changed && try(cand) {
+			pass = true
+		}
+	}
+	return cur, trials
+}
+
+// dropPO rebuilds g without output o (g is not modified).
+func dropPO(g *aig.Graph, o int) *aig.Graph {
+	ng := aig.New(g.Name)
+	piLits := make([]aig.Lit, g.NumPIs())
+	for i := range piLits {
+		piLits[i] = ng.AddPI(g.PIName(i))
+	}
+	outs := aig.AppendGraph(ng, g, piLits)
+	for i, l := range outs {
+		if i != o {
+			ng.AddPO(l, g.POName(i))
+		}
+	}
+	return ng.Sweep() // drop the logic that only fed the removed PO
+}
+
+// replaceAnd returns a swept copy of g with AND node v replaced by
+// literal rep (a constant or one of v's fanins — both outside v's
+// transitive fanout, so the rewrite cannot create a cycle).
+func replaceAnd(g *aig.Graph, v int32, rep aig.Lit) *aig.Graph {
+	c := g.Clone()
+	c.ReplaceWithLit(v, rep)
+	return c.Sweep()
+}
+
+// dropUnusedPIs rebuilds g keeping only inputs that feed an AND node or a
+// PO, always keeping at least one. Reports whether anything was dropped.
+func dropUnusedPIs(g *aig.Graph) (*aig.Graph, bool) {
+	used := make([]bool, g.NumPIs())
+	kept := 0
+	for i, v := range g.PIs() {
+		if g.NumFanouts(v) > 0 {
+			used[i] = true
+		} else {
+			for _, po := range g.POs() {
+				if po.Var() == v {
+					used[i] = true
+					break
+				}
+			}
+		}
+		if used[i] {
+			kept++
+		}
+	}
+	if kept == g.NumPIs() {
+		return g, false
+	}
+	if kept == 0 {
+		used[0] = true // a circuit with zero PIs is not a synthesis input
+	}
+	ng := aig.New(g.Name)
+	piLits := make([]aig.Lit, g.NumPIs())
+	for i := range piLits {
+		if used[i] {
+			piLits[i] = ng.AddPI(g.PIName(i))
+		} else {
+			piLits[i] = aig.False
+		}
+	}
+	outs := aig.AppendGraph(ng, g, piLits)
+	for i, l := range outs {
+		ng.AddPO(l, g.POName(i))
+	}
+	return ng.Sweep(), true
+}
