@@ -6,6 +6,7 @@
 package dpals_test
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"os"
@@ -20,10 +21,27 @@ import (
 	"dpals/internal/gen"
 	"dpals/internal/lac"
 	"dpals/internal/metric"
+	"dpals/internal/obs"
 	"dpals/internal/repro"
 	"dpals/internal/sim"
 	"dpals/internal/techmap"
 )
+
+// writeArtifact renders one observability artifact of the benchmark run;
+// best-effort (a read-only checkout only costs the artifact, not the
+// benchmark).
+func writeArtifact(b *testing.B, path string, write func(io.Writer) error) {
+	b.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		b.Logf("could not write %s: %v", path, err)
+		return
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		b.Logf("could not write %s: %v", path, err)
+	}
+}
 
 // smokeCfg keeps `go test -bench=.` tractable on one core: subset of
 // circuits, single (median) thresholds, 512 patterns, 40-LAC cap on large
@@ -222,8 +240,15 @@ func BenchmarkDualPhase(b *testing.B) {
 			NoCPMCache: noCache,
 		}
 	}
-	// Self-check: the cache must not change the synthesis result.
-	withCache, err := dpals.Approximate(c, opts(false))
+	// Self-check: the cache must not change the synthesis result. The cache
+	// run is traced and metered; besides proving observation does not
+	// perturb the benchmark workload, its artifacts (trace + metrics, for
+	// the CI upload and the Fig. 4-style time-breakdown recipe in
+	// EXPERIMENTS.md) are written next to BENCH_phase2.json.
+	tracer := obs.New()
+	mets := obs.NewMetrics()
+	ctx := obs.WithMetrics(obs.WithTracer(context.Background(), tracer), mets)
+	withCache, err := dpals.ApproximateContext(ctx, c, opts(false))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -239,6 +264,14 @@ func BenchmarkDualPhase(b *testing.B) {
 			withCache.Stats.Applied, withoutCache.Stats.Applied,
 			withCache.Circuit.NumGates(), withoutCache.Circuit.NumGates())
 	}
+	// The whole point of the pooled cache is allocation reuse: a dual-phase
+	// run on this circuit must recycle diff vectors, or the free list is
+	// broken.
+	if withCache.Stats.Pool.Reuses == 0 {
+		b.Fatalf("CPM pool never reused a vector: %+v", withCache.Stats.Pool)
+	}
+	writeArtifact(b, "results/BENCH_trace.json", tracer.WritePerfetto)
+	writeArtifact(b, "results/BENCH_metrics.jsonl", mets.WriteJSONL)
 
 	type modeResult struct {
 		NsPerOp     int64   `json:"ns_per_op"`

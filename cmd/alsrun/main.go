@@ -15,14 +15,20 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof" // -pprof-http serves the standard profiling endpoints
 	"os"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
 	"syscall"
+	"time"
 
 	"dpals"
+	"dpals/internal/obs"
 	"dpals/internal/par"
 )
 
@@ -42,6 +48,10 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file (taken after the run)")
 	statsOut := flag.String("stats", "", "write run statistics (step times, work counters, MTrace, reuse rate) as JSON to this file")
+	traceOut := flag.String("trace", "", "record a span trace of the run and write it to this file (Chrome/Perfetto trace.json; .jsonl extension selects the flat JSONL event log)")
+	metricsOut := flag.String("metrics", "", "sample engine and runtime metrics each iteration and write them as JSONL to this file")
+	progress := flag.Bool("progress", false, "render a live progress line (iteration, gates, error, ETA) on stderr")
+	pprofHTTP := flag.String("pprof-http", "", "serve net/http/pprof and /debug/obs (live span stack + metrics) on this address, e.g. :6060")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -91,10 +101,67 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	// Observability: a recording tracer when -trace or -pprof-http asks for
+	// one, a metrics registry for -metrics/-pprof-http, a live progress line
+	// for -progress. All hooks are nil-safe in the engine, so leaving them
+	// out keeps the default run on the exact same code path.
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	if *traceOut != "" || *pprofHTTP != "" {
+		tracer = obs.New()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+	var mets *obs.Metrics
+	if *metricsOut != "" || *pprofHTTP != "" {
+		mets = obs.NewMetrics()
+		ctx = obs.WithMetrics(ctx, mets)
+	}
+	var prog *obs.Progress
+	if *progress {
+		prog = obs.NewProgress(os.Stderr, 100*time.Millisecond)
+		ctx = obs.WithProgress(ctx, prog)
+	}
+	if *pprofHTTP != "" {
+		http.Handle("/debug/obs", obs.Handler(tracer, mets))
+		go func() {
+			if err := http.ListenAndServe(*pprofHTTP, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "alsrun: pprof server:", err)
+			}
+		}()
+		fmt.Printf("pprof : http://%s/debug/pprof/ (+ /debug/obs)\n", *pprofHTTP)
+	}
+
+	// flushObs writes the trace and metrics files. It runs once, on whichever
+	// exit path comes first — the normal end of the run or the hard-abort
+	// signal path — so even an aborted run leaves truncated-but-parseable
+	// artifacts (still-open spans are exported with their current duration).
+	var flushOnce sync.Once
+	flushObs := func() {
+		flushOnce.Do(func() {
+			prog.Done()
+			if tracer != nil && *traceOut != "" {
+				if err := writeTo(*traceOut, func(f io.Writer) error {
+					if strings.HasSuffix(*traceOut, ".jsonl") {
+						return tracer.WriteJSONL(f)
+					}
+					return tracer.WritePerfetto(f)
+				}); err != nil {
+					fmt.Fprintln(os.Stderr, "alsrun: trace:", err)
+				}
+			}
+			if mets != nil && *metricsOut != "" {
+				if err := writeTo(*metricsOut, mets.WriteJSONL); err != nil {
+					fmt.Fprintln(os.Stderr, "alsrun: metrics:", err)
+				}
+			}
+		})
+	}
+
 	// SIGINT/SIGTERM cancel the run cooperatively: the synthesis stops
 	// within one analysis wave and the best-so-far circuit and stats are
-	// still written below. A second signal aborts immediately.
-	ctx, cancel := context.WithCancel(context.Background())
+	// still written below. A second signal aborts immediately — but still
+	// flushes the observability artifacts first.
+	ctx, cancel := context.WithCancel(ctx)
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -103,6 +170,7 @@ func main() {
 		cancel()
 		<-sigc
 		fmt.Fprintln(os.Stderr, "alsrun: aborted")
+		flushObs()
 		os.Exit(130)
 	}()
 
@@ -117,6 +185,7 @@ func main() {
 	check(err)
 	signal.Stop(sigc)
 	cancel()
+	flushObs()
 
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
@@ -140,9 +209,29 @@ func main() {
 	}
 	fmt.Printf("        step times: cuts %v, CPM %v, evaluation %v\n",
 		res.Stats.CutTime, res.Stats.CPMTime, res.Stats.EvalTime)
+	if res.Stats.Phase1Time+res.Stats.Phase2Time > 0 {
+		fmt.Printf("        phase times: phase 1 %v, phase 2 %v\n",
+			res.Stats.Phase1Time, res.Stats.Phase2Time)
+	}
 	if res.Stats.CPMRowsReused+res.Stats.CPMRowsRecomputed > 0 {
 		fmt.Printf("        CPM rows: %d reused, %d recomputed (%.1f%% reuse)\n",
 			res.Stats.CPMRowsReused, res.Stats.CPMRowsRecomputed, 100*res.Stats.ReuseRate())
+	}
+	if res.Stats.Pool.Gets > 0 {
+		fmt.Printf("        CPM pool: %d gets, %d reused (%.1f%% hit rate), high water %d\n",
+			res.Stats.Pool.Gets, res.Stats.Pool.Reuses, 100*res.Stats.Pool.HitRate(), res.Stats.Pool.HighWater)
+	}
+	if tracer != nil && *traceOut != "" {
+		fmt.Printf("trace : %s\n", *traceOut)
+		if err := tracer.WriteSummary(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "alsrun: trace summary:", err)
+		}
+	}
+	if mets != nil && *metricsOut != "" {
+		fmt.Printf("metrics: %s\n", *metricsOut)
+		if err := mets.WriteSummary(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "alsrun: metrics summary:", err)
+		}
 	}
 
 	if *out != "" {
@@ -183,6 +272,8 @@ type runStats struct {
 	CutTimeNS     int64 `json:"cut_time_ns"`
 	CPMTimeNS     int64 `json:"cpm_time_ns"`
 	EvalTimeNS    int64 `json:"eval_time_ns"`
+	Phase1TimeNS  int64 `json:"phase1_time_ns"`
+	Phase2TimeNS  int64 `json:"phase2_time_ns"`
 
 	CutWork  int64 `json:"cut_work"`
 	CPMWork  int64 `json:"cpm_work"`
@@ -191,6 +282,10 @@ type runStats struct {
 	CPMRowsReused     int64   `json:"cpm_rows_reused"`
 	CPMRowsRecomputed int64   `json:"cpm_rows_recomputed"`
 	ReuseRate         float64 `json:"reuse_rate"`
+
+	PoolGets    int64   `json:"pool_gets,omitempty"`
+	PoolReuses  int64   `json:"pool_reuses,omitempty"`
+	PoolHitRate float64 `json:"pool_hit_rate,omitempty"`
 
 	MTrace []int `json:"m_trace,omitempty"`
 
@@ -215,6 +310,8 @@ func writeStats(path string, flow dpals.Flow, m dpals.Metric, thr float64, res *
 		CutTimeNS:     res.Stats.CutTime.Nanoseconds(),
 		CPMTimeNS:     res.Stats.CPMTime.Nanoseconds(),
 		EvalTimeNS:    res.Stats.EvalTime.Nanoseconds(),
+		Phase1TimeNS:  res.Stats.Phase1Time.Nanoseconds(),
+		Phase2TimeNS:  res.Stats.Phase2Time.Nanoseconds(),
 
 		CutWork:  res.Stats.CutWork,
 		CPMWork:  res.Stats.CPMWork,
@@ -223,6 +320,10 @@ func writeStats(path string, flow dpals.Flow, m dpals.Metric, thr float64, res *
 		CPMRowsReused:     res.Stats.CPMRowsReused,
 		CPMRowsRecomputed: res.Stats.CPMRowsRecomputed,
 		ReuseRate:         res.Stats.ReuseRate(),
+
+		PoolGets:    res.Stats.Pool.Gets,
+		PoolReuses:  res.Stats.Pool.Reuses,
+		PoolHitRate: res.Stats.Pool.HitRate(),
 
 		MTrace: res.Stats.MTrace,
 
@@ -238,6 +339,21 @@ func writeStats(path string, flow dpals.Flow, m dpals.Metric, thr float64, res *
 	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// writeTo creates path, runs write against it, and closes it, reporting the
+// first error. Used by the observability flush so the artifact is complete
+// on disk before the process exits.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func load(path string) (*dpals.Circuit, error) {

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"dpals"
+)
+
+// The exec tests drive the built alsrun binary end to end: flag wiring,
+// artifact writing, and the SIGINT flush path, which cannot be exercised
+// in-process.
+var (
+	binPath string
+	aagPath string
+)
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "alsrun-test")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	binPath = filepath.Join(dir, "alsrun")
+	build := exec.Command("go", "build", "-o", binPath, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		panic("building alsrun: " + err.Error() + "\n" + string(out))
+	}
+
+	aagPath = filepath.Join(dir, "vecmul.aag")
+	f, err := os.Create(aagPath)
+	if err != nil {
+		panic(err)
+	}
+	if err := dpals.NewVecMul(4, 10).WriteAIGER(f); err != nil {
+		panic(err)
+	}
+	f.Close()
+
+	os.Exit(m.Run())
+}
+
+// parseTrace decodes a trace.json and returns its events.
+func parseTrace(t *testing.T, path string) []map[string]any {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	return trace.TraceEvents
+}
+
+// TestRunWritesObservabilityArtifacts: a traced, metered, progress-enabled
+// run must exit zero and leave parseable artifacts whose phase spans cover
+// the run.
+func TestRunWritesObservabilityArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	mets := filepath.Join(dir, "metrics.jsonl")
+	stats := filepath.Join(dir, "stats.json")
+
+	cmd := exec.Command(binPath,
+		"-flow", "dpsa", "-metric", "mse", "-max-iters", "12", "-threads", "2",
+		"-trace", trace, "-metrics", mets, "-stats", stats, "-progress",
+		aagPath)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("alsrun failed: %v\n%s", err, out)
+	}
+
+	events := parseTrace(t, trace)
+	names := map[string]int{}
+	for _, e := range events {
+		if e["ph"] == "X" {
+			names[e["name"].(string)]++
+		}
+	}
+	for _, want := range []string{"run", "phase1", "cuts", "cpm", "eval", "apply"} {
+		if names[want] == 0 {
+			t.Errorf("trace has no %q span (got %v)", want, names)
+		}
+	}
+
+	mf, err := os.Open(mets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	sc := bufio.NewScanner(mf)
+	lines := 0
+	for sc.Scan() {
+		var s map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("metrics line %d: %v", lines, err)
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("metrics log is empty")
+	}
+
+	data, err := os.ReadFile(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s map[string]any
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"phase1_time_ns", "phase2_time_ns", "cut_time_ns", "stop_reason", "pool_gets"} {
+		if _, ok := s[key]; !ok {
+			t.Errorf("stats JSON missing %q", key)
+		}
+	}
+	if s["phase1_time_ns"].(float64) <= 0 {
+		t.Error("phase1_time_ns not positive")
+	}
+}
+
+// TestSIGINTWritesTruncatedTrace: one SIGINT stops the run cooperatively —
+// exit 0, best-so-far result, stop_reason cancelled — and the trace and
+// metrics artifacts must still be written and parseable.
+func TestSIGINTWritesTruncatedTrace(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	mets := filepath.Join(dir, "metrics.jsonl")
+	stats := filepath.Join(dir, "stats.json")
+
+	cmd := exec.Command(binPath,
+		"-flow", "dp", "-metric", "mse",
+		"-trace", trace, "-metrics", mets, "-stats", stats,
+		aagPath)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Let the run get under way, then interrupt it mid-flight.
+	time.Sleep(400 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("alsrun after SIGINT: %v", err)
+	}
+
+	parseTrace(t, trace)
+
+	data, err := os.ReadFile(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s struct {
+		StopReason string `json:"stop_reason"`
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	// A fast machine may finish before the signal lands; only then is
+	// "budget" acceptable.
+	if s.StopReason != "cancelled" && s.StopReason != "budget" {
+		t.Fatalf("stop_reason %q, want cancelled", s.StopReason)
+	}
+}
+
+// TestDoubleSIGINTAbortStillFlushes: the hard-abort path (second SIGINT)
+// must exit 130 and still leave a parseable, truncated trace. Timing makes
+// the abort race the cooperative stop, so the test tolerates either exit —
+// but whenever the trace file exists it must parse.
+func TestDoubleSIGINTAbortStillFlushes(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+
+	cmd := exec.Command(binPath,
+		"-flow", "dp", "-metric", "mse",
+		"-trace", trace,
+		aagPath)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(400 * time.Millisecond)
+	cmd.Process.Signal(syscall.SIGINT)
+	time.Sleep(50 * time.Millisecond)
+	cmd.Process.Signal(syscall.SIGINT)
+	err := cmd.Wait()
+
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 && code != 130 {
+		t.Fatalf("exit code %d, want 0 (cooperative) or 130 (abort)", code)
+	}
+	if _, err := os.Stat(trace); err != nil {
+		t.Fatalf("trace not flushed on abort: %v", err)
+	}
+	events := parseTrace(t, trace)
+	// On the abort path the run span is still open; open spans must carry
+	// the open marker rather than bogus durations.
+	if code == 130 {
+		sawOpen := false
+		for _, e := range events {
+			if args, ok := e["args"].(map[string]any); ok && args["open"] == true {
+				sawOpen = true
+			}
+		}
+		if !sawOpen {
+			t.Error("aborted trace has no open-marked span")
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Command benchcmp compares two benchmark result files of the
+// results/BENCH_*.json schema and fails when the new run regressed, with a
+// noise-aware threshold so routine CI jitter does not flag.
+//
+// Usage:
+//
+//	benchcmp [-threshold 0.15] [-min-delta 5ms] old.json new.json
+//
+// For every mode present in both files it compares ns_per_op,
+// allocs_per_op and bytes_per_op. A time regression is flagged only when
+// the new time exceeds the old by BOTH the relative threshold and the
+// absolute minimum delta — a 20% jump on a 1ms benchmark is noise, on a
+// 300ms benchmark it is real. Allocation counts are deterministic, so they
+// use the relative threshold alone. Exit status: 0 when no metric
+// regressed, 1 on any regression, 2 on usage or parse errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// benchFile is the subset of the results/BENCH_*.json schema benchcmp
+// reads; unknown fields are ignored so the schema can grow.
+type benchFile struct {
+	Circuit string               `json:"circuit"`
+	Modes   map[string]benchMode `json:"modes"`
+}
+
+type benchMode struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// row is one metric comparison of the report table.
+type row struct {
+	mode, metric string
+	old, new_    float64
+	regressed    bool
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.15, "relative regression threshold (0.15 = fail beyond +15%)")
+	minDelta := flag.Duration("min-delta", 5*time.Millisecond, "absolute time increase below which a relative regression is considered noise")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [flags] old.json new.json")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldB, err := load(flag.Arg(0))
+	check(err)
+	newB, err := load(flag.Arg(1))
+	check(err)
+
+	rows, missing := compare(oldB, newB, *threshold, float64(minDelta.Nanoseconds()))
+	for _, m := range missing {
+		fmt.Fprintf(os.Stderr, "benchcmp: warning: mode %q only in one file — skipped\n", m)
+	}
+
+	bad := 0
+	fmt.Printf("%-10s %-13s %15s %15s %8s\n", "mode", "metric", "old", "new", "delta")
+	for _, r := range rows {
+		mark := ""
+		if r.regressed {
+			mark = "  REGRESSED"
+			bad++
+		}
+		fmt.Printf("%-10s %-13s %15.0f %15.0f %+7.1f%%%s\n",
+			r.mode, r.metric, r.old, r.new_, 100*rel(r.old, r.new_), mark)
+	}
+	if bad > 0 {
+		fmt.Printf("\n%d metric(s) regressed beyond +%.0f%% (old: %s, new: %s)\n",
+			bad, 100**threshold, flag.Arg(0), flag.Arg(1))
+		os.Exit(1)
+	}
+	fmt.Printf("\nno regressions beyond +%.0f%%\n", 100**threshold)
+}
+
+// compare builds the comparison rows for the modes common to both files,
+// in sorted mode order, and returns the names of modes present in only one
+// of them.
+func compare(oldB, newB *benchFile, threshold, minDeltaNs float64) (rows []row, missing []string) {
+	var modes []string
+	for name := range oldB.Modes {
+		if _, ok := newB.Modes[name]; ok {
+			modes = append(modes, name)
+		} else {
+			missing = append(missing, name)
+		}
+	}
+	for name := range newB.Modes {
+		if _, ok := oldB.Modes[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(modes)
+	sort.Strings(missing)
+
+	for _, name := range modes {
+		o, n := oldB.Modes[name], newB.Modes[name]
+		// Time needs both gates: a relative jump that is absolutely tiny is
+		// scheduler noise, not a regression.
+		timeRegressed := n.NsPerOp > o.NsPerOp*(1+threshold) && n.NsPerOp-o.NsPerOp > minDeltaNs
+		rows = append(rows,
+			row{name, "ns/op", o.NsPerOp, n.NsPerOp, timeRegressed},
+			row{name, "allocs/op", o.AllocsPerOp, n.AllocsPerOp, n.AllocsPerOp > o.AllocsPerOp*(1+threshold)},
+			row{name, "bytes/op", o.BytesPerOp, n.BytesPerOp, n.BytesPerOp > o.BytesPerOp*(1+threshold)},
+		)
+	}
+	return rows, missing
+}
+
+// rel returns the relative change from old to new (0 when old is 0).
+func rel(old, new_ float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new_ - old) / old
+}
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b benchFile
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Modes) == 0 {
+		return nil, fmt.Errorf("%s: no \"modes\" in file (not a BENCH_*.json?)", path)
+	}
+	return &b, nil
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// readBench loads the committed phase-2 baseline from the repository's
+// results directory.
+func readBench(t *testing.T) *benchFile {
+	t.Helper()
+	b, err := load(filepath.Join("..", "..", "results", "BENCH_phase2.json"))
+	if err != nil {
+		t.Fatalf("loading committed baseline: %v", err)
+	}
+	return b
+}
+
+func regressions(rows []row) int {
+	n := 0
+	for _, r := range rows {
+		if r.regressed {
+			n++
+		}
+	}
+	return n
+}
+
+// TestBaselineVsItself is the CI-gate identity property: comparing the
+// committed baseline against itself must flag nothing.
+func TestBaselineVsItself(t *testing.T) {
+	b := readBench(t)
+	rows, missing := compare(b, b, 0.15, 5e6)
+	if len(missing) != 0 {
+		t.Fatalf("modes missing against itself: %v", missing)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no comparison rows for the committed baseline")
+	}
+	if n := regressions(rows); n != 0 {
+		t.Fatalf("%d regressions comparing the baseline against itself", n)
+	}
+}
+
+// TestInjectedSlowdownFlagged: doubling one mode's time must be flagged as
+// a regression, and only that metric.
+func TestInjectedSlowdownFlagged(t *testing.T) {
+	old := readBench(t)
+	slow := &benchFile{Circuit: old.Circuit, Modes: map[string]benchMode{}}
+	for name, m := range old.Modes {
+		slow.Modes[name] = m
+	}
+	m := slow.Modes["cache"]
+	m.NsPerOp *= 2
+	slow.Modes["cache"] = m
+
+	rows, _ := compare(old, slow, 0.15, 5e6)
+	if n := regressions(rows); n != 1 {
+		t.Fatalf("injected 2x cache slowdown: %d regressions flagged, want exactly 1", n)
+	}
+	for _, r := range rows {
+		if r.regressed && (r.mode != "cache" || r.metric != "ns/op") {
+			t.Fatalf("wrong metric flagged: %s %s", r.mode, r.metric)
+		}
+	}
+}
+
+// TestNoiseGates: a big relative jump on a microscopic time must pass (the
+// absolute min-delta gate), and a small relative jump on a big time must
+// pass (the relative gate).
+func TestNoiseGates(t *testing.T) {
+	old := &benchFile{Modes: map[string]benchMode{
+		"tiny": {NsPerOp: 1e6, AllocsPerOp: 100, BytesPerOp: 1000},
+		"big":  {NsPerOp: 3e8, AllocsPerOp: 100, BytesPerOp: 1000},
+	}}
+	newB := &benchFile{Modes: map[string]benchMode{
+		"tiny": {NsPerOp: 2e6, AllocsPerOp: 100, BytesPerOp: 1000},  // +100% but +1ms only
+		"big":  {NsPerOp: 33e7, AllocsPerOp: 100, BytesPerOp: 1000}, // +10%, below threshold
+	}}
+	rows, _ := compare(old, newB, 0.15, 5e6)
+	if n := regressions(rows); n != 0 {
+		t.Fatalf("noise flagged as regression (%d rows)", n)
+	}
+	// Push the big mode past the threshold: now it must flag.
+	m := newB.Modes["big"]
+	m.NsPerOp = 4e8
+	newB.Modes["big"] = m
+	rows, _ = compare(old, newB, 0.15, 5e6)
+	if n := regressions(rows); n != 1 {
+		t.Fatalf("+33%% on 300ms: %d regressions, want 1", n)
+	}
+}
+
+// TestMissingMode: a mode present in only one file is reported, not
+// silently dropped.
+func TestMissingMode(t *testing.T) {
+	old := &benchFile{Modes: map[string]benchMode{
+		"a": {NsPerOp: 1}, "b": {NsPerOp: 1},
+	}}
+	newB := &benchFile{Modes: map[string]benchMode{
+		"a": {NsPerOp: 1}, "c": {NsPerOp: 1},
+	}}
+	rows, missing := compare(old, newB, 0.15, 5e6)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3 (mode a only)", len(rows))
+	}
+	if len(missing) != 2 || missing[0] != "b" || missing[1] != "c" {
+		t.Fatalf("missing = %v, want [b c]", missing)
+	}
+}
+
+// TestLoadRejectsGarbage: files without a modes object are a usage error,
+// not a silent zero-comparison pass.
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "x.json")
+	if err := os.WriteFile(p, []byte(`{"circuit":"x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(p); err == nil {
+		t.Fatal("file without modes accepted")
+	}
+	if err := os.WriteFile(p, []byte(`not json`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(p); err == nil {
+		t.Fatal("unparseable file accepted")
+	}
+	// Round-trip a valid file through the schema to prove the struct tags
+	// match what bench_test.go writes.
+	v := benchFile{Circuit: "c", Modes: map[string]benchMode{"m": {NsPerOp: 1, AllocsPerOp: 2, BytesPerOp: 3}}}
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Modes["m"].BytesPerOp != 3 {
+		t.Fatalf("round-trip lost data: %+v", got.Modes["m"])
+	}
+}

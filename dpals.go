@@ -330,6 +330,14 @@ type Stats struct {
 	CPMTime       time.Duration // step 2: change propagation matrix
 	EvalTime      time.Duration // step 3: LAC error evaluation
 
+	// Phase1Time/Phase2Time are the cumulated wall-clock times of the two
+	// phases, derived from the engine's span tree (the same durations a
+	// -trace export shows): Phase1Time covers every comprehensive analysis,
+	// Phase2Time the incremental phase-2 loops of the dual-phase flows,
+	// applies included.
+	Phase1Time time.Duration
+	Phase2Time time.Duration
+
 	// Deterministic per-step work estimates in bit-vector word operations
 	// — the profile DP-SA's self-adaption tunes from. Unlike the *Time
 	// fields they are identical between runs for every Threads value.
@@ -342,6 +350,11 @@ type Stats struct {
 	// of the run. Zero when the cache is disabled or unused by the flow.
 	CPMRowsReused     int64
 	CPMRowsRecomputed int64
+
+	// Pool is the final snapshot of the CPM cache's bit-vector free list
+	// (dual-phase flows with the cache enabled; zero otherwise):
+	// allocation-avoidance accounting, deterministic across thread counts.
+	Pool bitvec.PoolStats
 
 	// MTrace is the DP-SA self-adaption trajectory: the candidate-set size
 	// M after each dual-phase round. Nil for other flows.
@@ -443,6 +456,9 @@ func ApproximateContext(ctx context.Context, c *Circuit, opt Options) (*Result, 
 			CutTime:           res.Stats.Step.Cuts,
 			CPMTime:           res.Stats.Step.CPM,
 			EvalTime:          res.Stats.Step.Eval,
+			Phase1Time:        res.Stats.PhaseTime.Phase1,
+			Phase2Time:        res.Stats.PhaseTime.Phase2,
+			Pool:              res.Stats.Pool,
 			CutWork:           res.Stats.Work.Cuts,
 			CPMWork:           res.Stats.Work.CPM,
 			EvalWork:          res.Stats.Work.Eval,

@@ -21,8 +21,31 @@ type Pool struct {
 	mu   sync.Mutex
 	free []Vec
 
-	gets   int64 // vectors handed out
-	reuses int64 // … of which came from the free list
+	stats PoolStats
+}
+
+// PoolStats is a snapshot of a Pool's free-list behaviour, the raw
+// material of the pool-effectiveness metrics: every Get is either a reuse
+// (served from the free list) or a miss (a fresh allocation), so
+// Gets = Reuses + Misses always holds. The counts depend only on the
+// deterministic row-recompute/invalidate schedule, not on worker
+// interleaving, so they are identical between runs for every thread
+// count.
+type PoolStats struct {
+	Gets      int64 // vectors handed out
+	Puts      int64 // vectors recycled back into the free list
+	Misses    int64 // Gets served by a fresh allocation (free list empty)
+	Reuses    int64 // Gets served from the free list
+	HighWater int64 // maximum free-list length ever observed
+}
+
+// HitRate returns Reuses/Gets — the fraction of handed-out vectors that
+// avoided an allocation (0 before the first Get).
+func (s PoolStats) HitRate() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.Reuses) / float64(s.Gets)
 }
 
 // NewPool returns a pool of vectors of w words each.
@@ -35,15 +58,16 @@ func (p *Pool) Words() int { return p.words }
 // unspecified; the caller must overwrite every word it reads back.
 func (p *Pool) Get() Vec {
 	p.mu.Lock()
-	p.gets++
+	p.stats.Gets++
 	if n := len(p.free); n > 0 {
 		v := p.free[n-1]
 		p.free[n-1] = nil
 		p.free = p.free[:n-1]
-		p.reuses++
+		p.stats.Reuses++
 		p.mu.Unlock()
 		return v
 	}
+	p.stats.Misses++
 	p.mu.Unlock()
 	return NewWords(p.words)
 }
@@ -59,13 +83,16 @@ func (p *Pool) Put(v Vec) {
 	}
 	p.mu.Lock()
 	p.free = append(p.free, v)
+	p.stats.Puts++
+	if n := int64(len(p.free)); n > p.stats.HighWater {
+		p.stats.HighWater = n
+	}
 	p.mu.Unlock()
 }
 
-// Stats reports how many vectors Get handed out and how many of those were
-// recycled from the free list (the rest were fresh allocations).
-func (p *Pool) Stats() (gets, reuses int64) {
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.gets, p.reuses
+	return p.stats
 }

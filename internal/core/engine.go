@@ -14,6 +14,7 @@ import (
 	"dpals/internal/fault"
 	"dpals/internal/lac"
 	"dpals/internal/metric"
+	"dpals/internal/obs"
 	"dpals/internal/sim"
 )
 
@@ -74,11 +75,33 @@ func RunContext(ctx context.Context, g *aig.Graph, opt Options) (*Result, error)
 	if opt.Et <= 0 {
 		opt.Et = 0.5
 	}
+	// The observability layer rides on the context: a recording tracer,
+	// metrics registry, or progress renderer installed by the caller is
+	// picked up here; otherwise the shared no-op tracer provides the span
+	// timestamps Stats.Step/PhaseTime are derived from. Either way the
+	// code path is the same and tracing never writes engine state, so a
+	// traced run is bit-identical to an untraced one.
+	tr := obs.FromContext(ctx)
+	run := tr.Start("run")
+	run.SetStr("flow", opt.Flow.String())
+	run.SetStr("metric", opt.Metric.String())
+	run.SetFloat("threshold", opt.Threshold)
+	run.SetInt("patterns", int64(opt.Patterns))
+	run.SetInt("threads", int64(opt.Threads))
+	init := run.Child("init")
 	e, err := newEngine(g, opt)
 	if err != nil {
+		init.End()
+		run.End()
 		return nil, err
 	}
+	init.SetInt("ands", int64(e.stats.NodesBefore))
+	init.SetInt("words", int64(e.s.Words()))
+	init.End()
 	e.ctx = ctx
+	e.root, e.cur = run, run
+	e.metrics = obs.MetricsFrom(ctx)
+	e.prog = obs.ProgressFrom(ctx)
 	start := time.Now()
 	switch opt.Flow {
 	case FlowConventional:
@@ -90,6 +113,7 @@ func RunContext(ctx context.Context, g *aig.Graph, opt Options) (*Result, error)
 	case FlowDP, FlowDPSA:
 		e.runDualPhase(opt.Flow == FlowDPSA)
 	default:
+		run.End()
 		return nil, fmt.Errorf("core: unknown flow %d", int(opt.Flow))
 	}
 	if e.stats.StopReason == "" {
@@ -99,7 +123,12 @@ func RunContext(ctx context.Context, g *aig.Graph, opt Options) (*Result, error)
 	}
 	e.stats.Runtime = time.Since(start)
 	e.stats.NodesAfter = e.g.NumAnds()
+	if e.cache != nil {
+		e.stats.Pool = e.cache.Pool().Stats()
+	}
+	sw := run.Child("sweep")
 	out := e.g.Sweep()
+	sw.End()
 	finalErr := e.st.Error()
 	if opt.Fault.Fire(fault.MisreportError) {
 		// Seeded reporting bug: the circuit is faithful but the reported
@@ -107,6 +136,20 @@ func RunContext(ctx context.Context, g *aig.Graph, opt Options) (*Result, error)
 		// cross-check must catch exactly this.
 		finalErr += 1e-3 * (1 + math.Abs(finalErr))
 	}
+	run.SetInt("applied", int64(e.stats.Applied))
+	run.SetInt("ands_after", int64(out.NumAnds()))
+	run.SetFloat("error", finalErr)
+	run.SetStr("stop_reason", string(e.stats.StopReason))
+	run.End()
+	if e.metrics != nil {
+		if !e.cancelAt.IsZero() {
+			// Cancellation latency: first observation of the dead context
+			// to the end of the best-so-far wind-down.
+			e.metrics.Gauge("cancel_latency_s").Set(time.Since(e.cancelAt).Seconds())
+		}
+		e.sampleMetrics()
+	}
+	e.prog.Done()
 	return &Result{Graph: out, Error: finalErr, Stats: e.stats}, nil
 }
 
@@ -126,6 +169,62 @@ type engine struct {
 	poScratch bitvec.Vec
 	iter      int  // applied-LAC counter (1-based in callbacks)
 	incCuts   bool // maintain cuts incrementally on apply (dual-phase flows)
+
+	// Observability (see internal/obs). root is the run-level span — never
+	// nil, since the no-op tracer still hands out timestamp-only spans the
+	// Step/PhaseTime stats are derived from. cur is the span new apply
+	// spans nest under; flows point it at their current phase. metrics and
+	// prog are nil unless the caller installed them in the context.
+	root     *obs.Span
+	cur      *obs.Span
+	metrics  *obs.Metrics
+	prog     *obs.Progress
+	cancelAt time.Time // first observation of a cancelled/expired context
+}
+
+// step opens a child span named name under parent and returns it together
+// with the context analysis calls should run under: when the span records,
+// the context carries it so par workers open their lane spans beneath it;
+// otherwise the run context passes through untouched.
+func (e *engine) step(parent *obs.Span, name string) (*obs.Span, context.Context) {
+	sp := parent.Child(name)
+	if sp.Recording() {
+		return sp, obs.WithSpan(e.ctx, sp)
+	}
+	return sp, e.ctx
+}
+
+// sampleMetrics publishes the engine's iteration-boundary gauges and takes
+// one metrics sample. Reads engine state only; called with e.metrics
+// non-nil.
+func (e *engine) sampleMetrics() {
+	m := e.metrics
+	m.Gauge("error").Set(e.st.Error())
+	m.Gauge("ands").Set(float64(e.g.NumAnds()))
+	m.Gauge("applied").Set(float64(e.stats.Applied))
+	m.Gauge("phase1_analyses").Set(float64(e.stats.Phase1))
+	m.Gauge("phase2_iters").Set(float64(e.stats.Phase2))
+	m.Gauge("cpm_rows_reused").Set(float64(e.stats.Work.CPMRowsReused))
+	m.Gauge("cpm_rows_recomputed").Set(float64(e.stats.Work.CPMRowsRecomputed))
+	if e.cache != nil {
+		ps := e.cache.Pool().Stats()
+		m.Gauge("pool_gets").Set(float64(ps.Gets))
+		m.Gauge("pool_puts").Set(float64(ps.Puts))
+		m.Gauge("pool_misses").Set(float64(ps.Misses))
+		m.Gauge("pool_high_water").Set(float64(ps.HighWater))
+		m.Gauge("pool_hit_rate").Set(ps.HitRate())
+	}
+	m.TakeSample(e.iter)
+}
+
+// observe is the engine's iteration-boundary observation hook: metrics
+// sample plus live progress line. Nil-safe on both, so apply calls it
+// unconditionally.
+func (e *engine) observe() {
+	if e.metrics != nil {
+		e.sampleMetrics()
+	}
+	e.prog.Update(e.iter, e.g.NumAnds(), e.st.Error(), e.opt.Threshold)
 }
 
 // SimOptions builds the simulator configuration a run of g under opt uses
@@ -205,12 +304,17 @@ func (e *engine) fire(k fault.Kind) bool { return e.opt.Fault.Fire(k) }
 // the PO changes into the metric state, repairs the cuts and the SASIMI
 // index. It returns the change set.
 func (e *engine) apply(l lac.LAC) aig.ChangeSet {
+	sp := e.cur.Child("apply")
 	cs := e.g.ReplaceWithLit(l.Target, l.NewLit)
 	// changed is simulator-owned scratch, valid only until the next
 	// ResimulateFrom call — consumed below before anything resimulates.
 	var changed []int32
 	if !e.fire(fault.SkipResim) {
+		rs := sp.Child("resim")
 		changed = e.s.ResimulateFrom(cs.Rewired)
+		rs.SetInt("changed_vars", int64(len(changed)))
+		rs.SetInt("words", int64(e.s.Words()))
+		rs.End()
 	}
 	if len(changed) > 0 && e.fire(fault.FlipSimBit) {
 		e.s.Val(changed[0])[0] ^= 1
@@ -222,10 +326,11 @@ func (e *engine) apply(l lac.LAC) aig.ChangeSet {
 		}
 	}
 	if e.cuts != nil && e.incCuts {
-		t0 := time.Now()
+		cu := sp.Child("cuts.update")
 		w0 := e.cuts.Work()
 		sv := e.cuts.UpdateAfter(cs)
-		e.stats.Step.Cuts += time.Since(t0)
+		cu.End()
+		e.stats.Step.Cuts += cu.Duration()
 		e.stats.Work.Cuts += e.cuts.Work() - w0
 		if e.cache != nil && !e.fire(fault.SkipCPMInvalidate) {
 			e.cache.Invalidate(cs, changed, sv)
@@ -234,6 +339,11 @@ func (e *engine) apply(l lac.LAC) aig.ChangeSet {
 	e.gen.Reindex()
 	e.stats.Applied++
 	e.iter++
+	sp.SetInt("target", int64(l.Target))
+	sp.SetFloat("error", e.st.Error())
+	sp.SetInt("ands", int64(e.g.NumAnds()))
+	sp.End()
+	e.observe()
 	return cs
 }
 
@@ -260,6 +370,7 @@ func (e *engine) cancelled() bool {
 		} else {
 			e.stats.StopReason = StopCancelled
 		}
+		e.cancelAt = time.Now() // cancel-latency metric origin
 	}
 	return true
 }
@@ -290,6 +401,8 @@ func (e *engine) snapshot() snapshot { return snapshot{g: e.g.Clone()} }
 // restore rolls the engine back to a snapshot, rebuilding the derived
 // state (simulation, metric, cuts, generator) from scratch.
 func (e *engine) restore(sn snapshot) {
+	sp := e.cur.Child("rollback")
+	defer sp.End()
 	e.g = sn.g
 	simOpt, _ := SimOptions(e.g, e.opt) // validated at construction
 	e.s = sim.New(e.g, simOpt)

@@ -2,12 +2,12 @@ package core
 
 import (
 	"math"
-	"time"
 
 	"dpals/internal/cpm"
 	"dpals/internal/cut"
 	"dpals/internal/fault"
 	"dpals/internal/lac"
+	"dpals/internal/obs"
 )
 
 // useCache reports whether the persistent incremental CPM cache is active:
@@ -25,40 +25,56 @@ func (e *engine) useCache() bool {
 // Cancellation makes every step return early at a wave boundary; the
 // partial analysis is discarded (nil bests) and the caller must check
 // e.cancelled() before interpreting nil as "no candidates".
-func (e *engine) comprehensive() []lac.NodeBest {
-	t0 := time.Now()
-	cuts, err := cut.NewSetCtx(e.ctx, e.g, e.opt.Threads)
+func (e *engine) comprehensive(parent *obs.Span) []lac.NodeBest {
+	p1 := parent.Child("phase1")
+	defer func() {
+		p1.End()
+		e.stats.PhaseTime.Phase1 += p1.Duration()
+	}()
+	sp, ctx := e.step(p1, "cuts")
+	cuts, err := cut.NewSetCtx(ctx, e.g, e.opt.Threads)
 	e.cuts = cuts
-	t1 := time.Now()
-	e.stats.Step.Cuts += t1.Sub(t0)
+	sp.SetInt("work", e.cuts.Work())
+	sp.End()
+	e.stats.Step.Cuts += sp.Duration()
 	e.stats.Work.Cuts += e.cuts.Work()
 	if err != nil {
 		return nil
 	}
 	var res *cpm.Result
+	sp, ctx = e.step(p1, "cpm")
 	if e.useCache() {
 		if e.cache == nil {
 			e.cache = cpm.NewCache(e.g, e.s)
 		}
-		upd, rerr := e.cache.RebuildCtx(e.ctx, e.cuts, e.opt.Threads)
+		upd, rerr := e.cache.RebuildCtx(ctx, e.cuts, e.opt.Threads)
 		err = rerr
 		res = upd.Res
 		e.stats.Work.CPM += upd.Work
 		e.stats.Work.CPMRowsRecomputed += int64(upd.Recomputed)
+		sp.SetInt("rows_recomputed", int64(upd.Recomputed))
+		sp.SetInt("work", upd.Work)
 	} else {
-		res, err = cpm.BuildDisjointCtx(e.ctx, e.g, e.s, e.cuts, nil, e.opt.Threads)
+		res, err = cpm.BuildDisjointCtx(ctx, e.g, e.s, e.cuts, nil, e.opt.Threads)
 		e.stats.Work.CPM += res.Work
+		sp.SetInt("work", res.Work)
 	}
-	t2 := time.Now()
-	e.stats.Step.CPM += t2.Sub(t1)
+	sp.End()
+	e.stats.Step.CPM += sp.Duration()
 	if err != nil {
 		return nil
 	}
 	if e.fire(fault.FlipDiffBit) {
 		res.FlipDiffBit(e.opt.Fault.Opportunities())
 	}
-	bests, ew, err := lac.EvaluateTargetsCtx(e.ctx, e.gen, res, e.st, e.liveTargets(), e.opt.Threads)
-	e.stats.Step.Eval += time.Since(t2)
+	sp, ctx = e.step(p1, "eval")
+	targets := e.liveTargets()
+	bests, ew, err := lac.EvaluateTargetsCtx(ctx, e.gen, res, e.st, targets, e.opt.Threads)
+	sp.SetInt("targets", int64(len(targets)))
+	sp.SetInt("lacs_best", int64(len(bests)))
+	sp.SetInt("work", ew)
+	sp.End()
+	e.stats.Step.Eval += sp.Duration()
 	e.stats.Work.Eval += ew
 	if err != nil {
 		return nil
@@ -75,7 +91,7 @@ func (e *engine) runConventional() {
 		if e.stopped() {
 			return
 		}
-		bests := e.comprehensive()
+		bests := e.comprehensive(e.root)
 		if e.cancelled() {
 			return
 		}
@@ -101,26 +117,10 @@ func (e *engine) runVECBEE() {
 		if e.stopped() {
 			return
 		}
-		t1 := time.Now()
-		res, err := cpm.BuildVECBEECtx(e.ctx, e.g, e.s, e.opt.DepthLimit, nil, e.opt.Threads)
-		t2 := time.Now()
-		e.stats.Step.CPM += t2.Sub(t1)
-		e.stats.Work.CPM += res.Work
-		if err != nil {
-			e.cancelled()
+		bests, ok := e.vecbeeAnalysis()
+		if !ok {
 			return
 		}
-		if e.fire(fault.FlipDiffBit) {
-			res.FlipDiffBit(e.opt.Fault.Opportunities())
-		}
-		bests, ew, err := lac.EvaluateTargetsCtx(e.ctx, e.gen, res, e.st, e.liveTargets(), e.opt.Threads)
-		e.stats.Step.Eval += time.Since(t2)
-		e.stats.Work.Eval += ew
-		if err != nil {
-			e.cancelled()
-			return
-		}
-		e.stats.Phase1++
 		if len(bests) == 0 || bests[0].Best.Err > e.opt.Threshold {
 			e.stats.StopReason = StopBudget
 			return
@@ -143,6 +143,45 @@ func (e *engine) runVECBEE() {
 	}
 }
 
+// vecbeeAnalysis is one analysis of the original VECBEE baseline: the
+// one-cut depth-limited CPM plus LAC evaluation, recorded as a phase-1
+// span like every other full analysis. ok is false when the run was
+// cancelled mid-analysis (the partial result must be discarded).
+func (e *engine) vecbeeAnalysis() (bests []lac.NodeBest, ok bool) {
+	p1 := e.root.Child("phase1")
+	defer func() {
+		p1.End()
+		e.stats.PhaseTime.Phase1 += p1.Duration()
+	}()
+	sp, ctx := e.step(p1, "cpm")
+	res, err := cpm.BuildVECBEECtx(ctx, e.g, e.s, e.opt.DepthLimit, nil, e.opt.Threads)
+	sp.SetInt("work", res.Work)
+	sp.End()
+	e.stats.Step.CPM += sp.Duration()
+	e.stats.Work.CPM += res.Work
+	if err != nil {
+		e.cancelled()
+		return nil, false
+	}
+	if e.fire(fault.FlipDiffBit) {
+		res.FlipDiffBit(e.opt.Fault.Opportunities())
+	}
+	sp, ctx = e.step(p1, "eval")
+	targets := e.liveTargets()
+	bests, ew, err := lac.EvaluateTargetsCtx(ctx, e.gen, res, e.st, targets, e.opt.Threads)
+	sp.SetInt("targets", int64(len(targets)))
+	sp.SetInt("work", ew)
+	sp.End()
+	e.stats.Step.Eval += sp.Duration()
+	e.stats.Work.Eval += ew
+	if err != nil {
+		e.cancelled()
+		return nil, false
+	}
+	e.stats.Phase1++
+	return bests, true
+}
+
 // runAccALS re-implements AccALS [14]: each iteration selects multiple
 // LACs greedily on the estimated error, applies them in a batch, and
 // validates against the real (sampled) error. When the batch violates the
@@ -161,7 +200,7 @@ func (e *engine) runAccALS() {
 		if e.stopped() {
 			return
 		}
-		bests := e.comprehensive()
+		bests := e.comprehensive(e.root)
 		if e.cancelled() {
 			return
 		}
@@ -264,134 +303,13 @@ func (e *engine) runDualPhase(selfAdapt bool) {
 			return
 		}
 		workBefore := e.stats.Work
-		// ---------- Phase 1: comprehensive analysis ----------
-		bests := e.comprehensive()
-		if e.cancelled() {
+		round := e.root.Child("round")
+		round.SetInt("M", int64(M))
+		round.SetInt("N", int64(N))
+		stop := e.dualPhaseRound(round, M, N, selfAdapt)
+		round.End()
+		if stop {
 			return
-		}
-		if len(bests) == 0 || bests[0].Best.Err > e.opt.Threshold {
-			e.stats.StopReason = StopBudget
-			return
-		}
-		E0 := e.st.Error() // error at the start of this dual-phase iteration
-		chosen := bests[0]
-		cs := e.apply(chosen.Best.LAC)
-		if e.opt.OnIteration != nil {
-			e.opt.OnIteration(e.iter, chosen, bests)
-		}
-		// Candidate set: the M remaining nodes with the smallest errors,
-		// excluding anything the applied LAC removed.
-		removed := map[int32]bool{}
-		for _, r := range cs.Removed {
-			removed[r] = true
-		}
-		var scand []int32
-		for _, nb := range bests[1:] {
-			if removed[nb.Node] {
-				continue
-			}
-			scand = append(scand, nb.Node)
-			if len(scand) == M {
-				break
-			}
-		}
-
-		// ---------- Phase 2: incremental analysis ----------
-		sumEr := 0.0
-		for it := 0; it < N && !e.reachedCap(); it++ {
-			if e.cancelled() {
-				return
-			}
-			// Keep only still-live candidates.
-			live := scand[:0]
-			for _, v := range scand {
-				if e.g.IsAnd(v) {
-					live = append(live, v)
-				}
-			}
-			scand = live
-			if len(scand) == 0 {
-				break
-			}
-			t1 := time.Now()
-			// Incremental analysis: serve the closure of S_cand from the
-			// cache, recomputing only rows invalidated since the last
-			// analysis — §III-C's reuse, bit-identical to a full rebuild.
-			var res *cpm.Result
-			var err error
-			if e.cache != nil {
-				upd, rerr := e.cache.RowsCtx(e.ctx, scand, e.opt.Threads)
-				err = rerr
-				res = upd.Res
-				e.stats.Work.CPM += upd.Work
-				e.stats.Work.CPMRowsReused += int64(upd.Reused)
-				e.stats.Work.CPMRowsRecomputed += int64(upd.Recomputed)
-			} else {
-				res, err = cpm.BuildDisjointCtx(e.ctx, e.g, e.s, e.cuts, scand, e.opt.Threads)
-				e.stats.Work.CPM += res.Work
-			}
-			t2 := time.Now()
-			e.stats.Step.CPM += t2.Sub(t1)
-			if err != nil {
-				e.cancelled()
-				return
-			}
-			if e.fire(fault.FlipDiffBit) {
-				res.FlipDiffBit(e.opt.Fault.Opportunities())
-			}
-			bests2, ew, err := lac.EvaluateTargetsCtx(e.ctx, e.gen, res, e.st, scand, e.opt.Threads)
-			e.stats.Step.Eval += time.Since(t2)
-			e.stats.Work.Eval += ew
-			if err != nil {
-				e.cancelled()
-				return
-			}
-			if len(bests2) == 0 || bests2[0].Best.Err > e.opt.Threshold {
-				break
-			}
-			cand := bests2[0]
-			er := 0.0
-			if selfAdapt {
-				E := e.st.Error()
-				if einc := cand.Best.Err - E; einc > 0 {
-					if E0 > 0 {
-						er = einc / E0
-					} else {
-						er = math.Inf(1)
-					}
-				}
-				Eb := e.opt.Threshold
-				stop := false
-				switch {
-				case E <= e.opt.Br*Eb:
-					// Far from the bound: unconstrained.
-				case E <= e.opt.Bs*Eb:
-					stop = er > e.opt.Et
-				default:
-					stop = sumEr+er > e.opt.Et
-				}
-				if stop {
-					break
-				}
-			}
-			cs2 := e.apply(cand.Best.LAC)
-			e.stats.Phase2++
-			sumEr += er
-			if e.opt.OnIteration != nil {
-				e.opt.OnIteration(e.iter, cand, bests2)
-			}
-			// Remove the target and its removed MFFC from S_cand.
-			gone := map[int32]bool{cand.Node: true}
-			for _, r := range cs2.Removed {
-				gone[r] = true
-			}
-			kept := scand[:0]
-			for _, v := range scand {
-				if !gone[v] {
-					kept = append(kept, v)
-				}
-			}
-			scand = kept
 		}
 
 		// ---------- Self-adaption: tune parameters from the last phase ----------
@@ -435,6 +353,165 @@ func (e *engine) runDualPhase(selfAdapt bool) {
 			e.stats.MTrace = append(e.stats.MTrace, M)
 		}
 	}
+}
+
+// dualPhaseRound runs one round of the dual-phase framework under the given
+// round span: a comprehensive phase-1 analysis, the phase-1 apply, and up to
+// N incremental phase-2 iterations restricted to the candidate set S_cand of
+// the M best remaining nodes. It reports whether the whole flow should stop
+// (error budget exhausted, iteration cap reached, or run cancelled).
+func (e *engine) dualPhaseRound(round *obs.Span, M, N int, selfAdapt bool) (stop bool) {
+	// Applies of this round nest their spans under the round.
+	e.cur = round
+	defer func() { e.cur = e.root }()
+
+	// ---------- Phase 1: comprehensive analysis ----------
+	bests := e.comprehensive(round)
+	if e.cancelled() {
+		return true
+	}
+	if len(bests) == 0 || bests[0].Best.Err > e.opt.Threshold {
+		e.stats.StopReason = StopBudget
+		return true
+	}
+	E0 := e.st.Error() // error at the start of this dual-phase iteration
+	chosen := bests[0]
+	cs := e.apply(chosen.Best.LAC)
+	if e.opt.OnIteration != nil {
+		e.opt.OnIteration(e.iter, chosen, bests)
+	}
+	// Candidate set: the M remaining nodes with the smallest errors,
+	// excluding anything the applied LAC removed.
+	removed := map[int32]bool{}
+	for _, r := range cs.Removed {
+		removed[r] = true
+	}
+	var scand []int32
+	for _, nb := range bests[1:] {
+		if removed[nb.Node] {
+			continue
+		}
+		scand = append(scand, nb.Node)
+		if len(scand) == M {
+			break
+		}
+	}
+
+	// ---------- Phase 2: incremental analysis ----------
+	p2 := round.Child("phase2")
+	e.cur = p2
+	iters0 := e.stats.Phase2
+	defer func() {
+		p2.SetInt("iters", int64(e.stats.Phase2-iters0))
+		p2.End()
+		e.stats.PhaseTime.Phase2 += p2.Duration()
+	}()
+	sumEr := 0.0
+	for it := 0; it < N && !e.reachedCap(); it++ {
+		if e.cancelled() {
+			return true
+		}
+		// Keep only still-live candidates.
+		live := scand[:0]
+		for _, v := range scand {
+			if e.g.IsAnd(v) {
+				live = append(live, v)
+			}
+		}
+		scand = live
+		if len(scand) == 0 {
+			break
+		}
+		// Incremental analysis: serve the closure of S_cand from the
+		// cache, recomputing only rows invalidated since the last
+		// analysis — §III-C's reuse, bit-identical to a full rebuild.
+		sp, ctx := e.step(p2, "cpm")
+		sp.SetInt("scand", int64(len(scand)))
+		var res *cpm.Result
+		var err error
+		if e.cache != nil {
+			upd, rerr := e.cache.RowsCtx(ctx, scand, e.opt.Threads)
+			err = rerr
+			res = upd.Res
+			e.stats.Work.CPM += upd.Work
+			e.stats.Work.CPMRowsReused += int64(upd.Reused)
+			e.stats.Work.CPMRowsRecomputed += int64(upd.Recomputed)
+			sp.SetInt("rows_reused", int64(upd.Reused))
+			sp.SetInt("rows_recomputed", int64(upd.Recomputed))
+			sp.SetInt("work", upd.Work)
+		} else {
+			res, err = cpm.BuildDisjointCtx(ctx, e.g, e.s, e.cuts, scand, e.opt.Threads)
+			e.stats.Work.CPM += res.Work
+			sp.SetInt("work", res.Work)
+		}
+		sp.End()
+		e.stats.Step.CPM += sp.Duration()
+		if err != nil {
+			e.cancelled()
+			return true
+		}
+		if e.fire(fault.FlipDiffBit) {
+			res.FlipDiffBit(e.opt.Fault.Opportunities())
+		}
+		sp, ctx = e.step(p2, "eval")
+		bests2, ew, err := lac.EvaluateTargetsCtx(ctx, e.gen, res, e.st, scand, e.opt.Threads)
+		sp.SetInt("targets", int64(len(scand)))
+		sp.SetInt("work", ew)
+		sp.End()
+		e.stats.Step.Eval += sp.Duration()
+		e.stats.Work.Eval += ew
+		if err != nil {
+			e.cancelled()
+			return true
+		}
+		if len(bests2) == 0 || bests2[0].Best.Err > e.opt.Threshold {
+			break
+		}
+		cand := bests2[0]
+		er := 0.0
+		if selfAdapt {
+			E := e.st.Error()
+			if einc := cand.Best.Err - E; einc > 0 {
+				if E0 > 0 {
+					er = einc / E0
+				} else {
+					er = math.Inf(1)
+				}
+			}
+			Eb := e.opt.Threshold
+			halt := false
+			switch {
+			case E <= e.opt.Br*Eb:
+				// Far from the bound: unconstrained.
+			case E <= e.opt.Bs*Eb:
+				halt = er > e.opt.Et
+			default:
+				halt = sumEr+er > e.opt.Et
+			}
+			if halt {
+				break
+			}
+		}
+		cs2 := e.apply(cand.Best.LAC)
+		e.stats.Phase2++
+		sumEr += er
+		if e.opt.OnIteration != nil {
+			e.opt.OnIteration(e.iter, cand, bests2)
+		}
+		// Remove the target and its removed MFFC from S_cand.
+		gone := map[int32]bool{cand.Node: true}
+		for _, r := range cs2.Removed {
+			gone[r] = true
+		}
+		kept := scand[:0]
+		for _, v := range scand {
+			if !gone[v] {
+				kept = append(kept, v)
+			}
+		}
+		scand = kept
+	}
+	return false
 }
 
 func growInt(v int, f float64) int {

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"time"
 
+	"dpals/internal/bitvec"
 	"dpals/internal/fault"
 	"dpals/internal/lac"
 	"dpals/internal/metric"
@@ -171,7 +172,10 @@ const (
 
 // StepTimes records the cumulated runtime of the three error-analysis steps
 // of Fig. 3: (1) obtaining/updating disjoint cuts, (2) calculating the CPM,
-// (3) calculating the error increases of the LACs.
+// (3) calculating the error increases of the LACs. Each figure is the
+// summed duration of the matching obs spans ("cuts"/"cuts.update", "cpm",
+// "eval") — the single timing code path shared with trace exports, so a
+// -stats dump and a trace summary can never disagree.
 type StepTimes struct {
 	Cuts time.Duration
 	CPM  time.Duration
@@ -180,6 +184,22 @@ type StepTimes struct {
 
 // Total returns the summed step time.
 func (t StepTimes) Total() time.Duration { return t.Cuts + t.CPM + t.Eval }
+
+// PhaseTimes records the cumulated wall-clock time of the two phases of
+// the dual-phase framework, derived from the durations of the "phase1"
+// and "phase2" obs spans. Phase1 covers every comprehensive analysis
+// (including the per-iteration analyses of the conventional, VECBEE and
+// AccALS baselines, which are all phase-1-style); Phase2 covers the
+// incremental phase-2 loops of the dual-phase flows, applies included.
+// Because both the exported trace and these fields read the same span
+// durations, the per-phase spans of a trace sum exactly to PhaseTimes.
+type PhaseTimes struct {
+	Phase1 time.Duration
+	Phase2 time.Duration
+}
+
+// Total returns the summed phase time.
+func (t PhaseTimes) Total() time.Duration { return t.Phase1 + t.Phase2 }
 
 // StepWork is the deterministic analogue of StepTimes: cumulated work
 // estimates of the three analysis steps in bitvec word operations, as
@@ -217,7 +237,13 @@ type Stats struct {
 	NodesAfter  int
 	Runtime     time.Duration
 	Step        StepTimes
+	PhaseTime   PhaseTimes
 	Work        StepWork
+
+	// Pool is the final snapshot of the CPM cache's diff-vector free list
+	// (dual-phase flows with the cache enabled; zero otherwise) —
+	// deterministic like Work, see bitvec.PoolStats.
+	Pool bitvec.PoolStats
 
 	// StopReason tells why the run ended (budget, max-iters, cancelled,
 	// deadline). Always set by Run/RunContext.

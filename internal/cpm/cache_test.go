@@ -235,7 +235,7 @@ func TestCachePoolRecycles(t *testing.T) {
 	cuts := cut.NewSet(g, 1)
 	cache := NewCache(g, s)
 	cache.Rebuild(cuts, 1)
-	gets0, _ := cache.Pool().Stats()
+	ps0 := cache.Pool().Stats()
 	for step := 0; step < 6; step++ {
 		v, repl, ok := randomLAC(rng, g)
 		if !ok {
@@ -253,11 +253,17 @@ func TestCachePoolRecycles(t *testing.T) {
 		}
 		cache.Rows(targets, 1)
 	}
-	gets1, reuses1 := cache.Pool().Stats()
-	if gets1 == gets0 {
+	ps1 := cache.Pool().Stats()
+	if ps1.Gets == ps0.Gets {
 		t.Skip("no rows recomputed after rebuild (degenerate sequence)")
 	}
-	if reuses1 == 0 {
-		t.Fatalf("pool never reused a vector (%d gets after rebuild)", gets1-gets0)
+	if ps1.Reuses == 0 {
+		t.Fatalf("pool never reused a vector (%d gets after rebuild)", ps1.Gets-ps0.Gets)
+	}
+	if ps1.Gets != ps1.Reuses+ps1.Misses {
+		t.Errorf("pool stats inconsistent: gets %d != reuses %d + misses %d", ps1.Gets, ps1.Reuses, ps1.Misses)
+	}
+	if ps1.Puts == 0 || ps1.HighWater == 0 {
+		t.Errorf("pool stats missing recycle accounting: %+v", ps1)
 	}
 }

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// perfettoEvent is one entry of the Chrome/Perfetto "traceEvents" array.
+// Complete spans use ph "X" with microsecond ts/dur; lane names use the
+// "M" (metadata) thread_name convention.
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type perfettoTrace struct {
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+}
+
+// WritePerfetto renders the tracer's snapshot as a Chrome/Perfetto
+// trace.json: one "X" (complete) event per span, spans from par worker w
+// in thread lane w (tid w, lane 0 = the main synthesis thread), span
+// attributes in args. Open (truncated) spans are emitted with their
+// duration up to the snapshot and args.open=true, so a trace flushed from
+// an interrupted run still loads. Load via chrome://tracing or
+// https://ui.perfetto.dev.
+func (t *Tracer) WritePerfetto(w io.Writer) error {
+	spans := t.Snapshot()
+	lanes := map[int]bool{}
+	for _, sp := range spans {
+		lanes[sp.Lane] = true
+	}
+	laneIDs := make([]int, 0, len(lanes))
+	for l := range lanes {
+		laneIDs = append(laneIDs, l)
+	}
+	sort.Ints(laneIDs)
+
+	events := make([]perfettoEvent, 0, len(spans)+len(laneIDs)+1)
+	events = append(events, perfettoEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": "dpals"},
+	})
+	for _, l := range laneIDs {
+		name := "main"
+		if l > 0 {
+			name = fmt.Sprintf("worker-%d", l)
+		}
+		events = append(events, perfettoEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: l,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, sp := range spans {
+		args := make(map[string]any, len(sp.Attrs)+3)
+		args["span_id"] = sp.ID
+		if sp.Parent != 0 {
+			args["parent"] = sp.Parent
+		}
+		if sp.Open {
+			args["open"] = true
+		}
+		for _, a := range sp.Attrs {
+			args[a.Key] = a.Value
+		}
+		events = append(events, perfettoEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			TS:   float64(sp.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(sp.Dur.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  sp.Lane,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(perfettoTrace{DisplayTimeUnit: "ms", TraceEvents: events})
+}
+
+// WriteJSONL writes one JSON object per span of the snapshot, sorted by
+// start time — the machine-diffable event log.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	for _, sp := range t.Snapshot() {
+		line, err := json.Marshal(sp)
+		if err != nil {
+			return err
+		}
+		line = append(line, '\n')
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSummary renders the snapshot as a human table: per span name, the
+// call count, total and mean duration, and the share of the run span
+// (the earliest root span; wall-clock share can exceed 100% for spans
+// running concurrently in worker lanes).
+func (t *Tracer) WriteSummary(w io.Writer) error {
+	spans := t.Snapshot()
+	if len(spans) == 0 {
+		_, err := fmt.Fprintln(w, "trace: no spans recorded")
+		return err
+	}
+	var run time.Duration
+	for _, sp := range spans {
+		if sp.Parent == 0 {
+			run = sp.Dur
+			break
+		}
+	}
+	type agg struct {
+		name  string
+		count int
+		total time.Duration
+	}
+	byName := map[string]*agg{}
+	var order []string
+	for _, sp := range spans {
+		a := byName[sp.Name]
+		if a == nil {
+			a = &agg{name: sp.Name}
+			byName[sp.Name] = a
+			order = append(order, sp.Name)
+		}
+		a.count++
+		a.total += sp.Dur
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return byName[order[i]].total > byName[order[j]].total
+	})
+	width := len("span")
+	for _, n := range order {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s  %7s  %12s  %12s  %6s\n", width, "span", "count", "total", "mean", "run%"); err != nil {
+		return err
+	}
+	for _, n := range order {
+		a := byName[n]
+		pct := 0.0
+		if run > 0 {
+			pct = 100 * float64(a.total) / float64(run)
+		}
+		if _, err := fmt.Fprintf(w, "%-*s  %7d  %12v  %12v  %5.1f%%\n",
+			width, a.name, a.count, a.total.Round(time.Microsecond),
+			(a.total / time.Duration(a.count)).Round(time.Microsecond), pct); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHandlerSnapshot: a plain GET returns the open spans and the last
+// metrics sample as JSON.
+func TestHandlerSnapshot(t *testing.T) {
+	tr := New()
+	root := tr.Start("run")
+	root.Child("phase1") // left open: must show in the live state
+	m := NewMetrics()
+	m.Gauge("error").Set(0.5)
+	m.TakeSample(3)
+
+	srv := httptest.NewServer(Handler(tr, m))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st DebugState
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Active) != 2 {
+		t.Fatalf("%d active spans, want 2", len(st.Active))
+	}
+	if st.Active[0].Name != "run" || !st.Active[0].Open {
+		t.Fatalf("first active span %+v, want open run", st.Active[0])
+	}
+	if st.Metrics == nil || st.Metrics.Iter != 3 || st.Metrics.Values["error"] != 0.5 {
+		t.Fatalf("metrics in state = %+v", st.Metrics)
+	}
+	if st.AtNS <= 0 {
+		t.Fatal("missing timestamp")
+	}
+}
+
+// TestHandlerNilTolerant: the endpoint must work with no tracer and no
+// metrics installed (alsrun -pprof-http without -trace/-metrics).
+func TestHandlerNilTolerant(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st DebugState
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Active) != 0 || st.Metrics != nil {
+		t.Fatalf("nil state not empty: %+v", st)
+	}
+}
+
+// TestHandlerStream: ?stream=... yields NDJSON lines until the client
+// disconnects.
+func TestHandlerStream(t *testing.T) {
+	tr := New()
+	tr.Start("run")
+	srv := httptest.NewServer(Handler(tr, nil))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "?stream=50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "ndjson") {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	lines := 0
+	for sc.Scan() && lines < 3 {
+		var st DebugState
+		if err := json.Unmarshal(sc.Bytes(), &st); err != nil {
+			t.Fatalf("stream line %d: %v", lines, err)
+		}
+		if len(st.Active) != 1 {
+			t.Fatalf("stream line %d: %d active spans", lines, len(st.Active))
+		}
+		lines++
+	}
+	resp.Body.Close() // disconnect ends the stream server-side
+	if lines != 3 {
+		t.Fatalf("read %d stream lines, want 3", lines)
+	}
+
+	// Bad interval is a 400, not a hang.
+	resp2, err := srv.Client().Get(srv.URL + "?stream=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 400 {
+		t.Fatalf("bad interval status %d", resp2.StatusCode)
+	}
+}

@@ -27,6 +27,12 @@
 //     is cancelled, returning ctx.Err(). Per-item results computed before
 //     the cancel are valid; the overall output is partial and the caller
 //     must discard it (uncancelled runs are bit-identical to For).
+//
+// When the context carries a recording obs span (obs.WithSpan), every
+// worker goroutine additionally opens a child span in its own lane —
+// the thread-per-worker tracks of a Perfetto trace — closed by defer even
+// when the callback panics. Without a recording span (every production
+// run) no span is created and the fan-out is unchanged.
 package par
 
 import (
@@ -36,6 +42,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"dpals/internal/obs"
 )
 
 // Workers resolves a Threads option value to an effective worker count:
@@ -140,6 +148,14 @@ func forCtx(ctx context.Context, threads, n int, fn func(worker, i int)) error {
 		}
 		return nil
 	}
+	// When a recording span rides on ctx (the engine installs its current
+	// analysis-step span there), each worker opens one child span in its
+	// own Perfetto lane — the thread-per-worker tracks of the trace. The
+	// defer closes the lane even when the callback panics, so a trace
+	// flushed after a par.Panic re-raise has no dangling worker spans. On
+	// the production no-trace path parent is nil (or non-recording) and no
+	// span is created.
+	parent := obs.SpanFrom(ctx)
 	var (
 		next int64
 		stop atomic.Bool
@@ -151,6 +167,14 @@ func forCtx(ctx context.Context, threads, n int, fn func(worker, i int)) error {
 	for w := 0; w < workers; w++ {
 		go func(worker int) {
 			defer wg.Done()
+			processed := 0
+			if parent.Recording() {
+				lane := parent.ChildLane(parent.Name(), worker+1)
+				defer func() {
+					lane.SetInt("items", int64(processed))
+					lane.End()
+				}()
+			}
 			for !stop.Load() {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
@@ -169,6 +193,7 @@ func forCtx(ctx context.Context, threads, n int, fn func(worker, i int)) error {
 					stop.Store(true)
 					return
 				}
+				processed++
 			}
 		}(w)
 	}
