@@ -11,14 +11,25 @@
 // the new time exceeds the old by BOTH the relative threshold and the
 // absolute minimum delta — a 20% jump on a 1ms benchmark is noise, on a
 // 300ms benchmark it is real. Allocation counts are deterministic, so they
-// use the relative threshold alone. Exit status: 0 when no metric
-// regressed, 1 on any regression, 2 on usage or parse errors.
+// use the relative threshold alone. Improvements beyond the same gates are
+// reported explicitly, so a PR that moves a number can cite the table.
+//
+// Bogus inputs fail loudly rather than passing vacuously: a mode with a
+// zero (or negative) ns_per_op is rejected at load time — a real benchmark
+// cannot run in 0ns, so such a baseline would gate nothing — and a mode
+// present in the old file but missing from the new one is a regression in
+// coverage, not a skip. Modes only in the NEW file are reported as added
+// coverage and do not fail.
+//
+// Exit status: 0 when no metric regressed, 1 on any regression (including
+// a vanished mode), 2 on usage, parse or validation errors.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"time"
@@ -42,6 +53,7 @@ type row struct {
 	mode, metric string
 	old, new_    float64
 	regressed    bool
+	improved     bool
 }
 
 func main() {
@@ -59,21 +71,32 @@ func main() {
 	newB, err := load(flag.Arg(1))
 	check(err)
 
-	rows, missing := compare(oldB, newB, *threshold, float64(minDelta.Nanoseconds()))
-	for _, m := range missing {
-		fmt.Fprintf(os.Stderr, "benchcmp: warning: mode %q only in one file — skipped\n", m)
+	rows, vanished, added := compare(oldB, newB, *threshold, float64(minDelta.Nanoseconds()))
+	for _, m := range added {
+		fmt.Fprintf(os.Stderr, "benchcmp: note: mode %q only in new file — added coverage, not compared\n", m)
 	}
 
-	bad := 0
+	bad, better := 0, 0
 	fmt.Printf("%-10s %-13s %15s %15s %8s\n", "mode", "metric", "old", "new", "delta")
 	for _, r := range rows {
 		mark := ""
-		if r.regressed {
+		switch {
+		case r.regressed:
 			mark = "  REGRESSED"
 			bad++
+		case r.improved:
+			mark = "  improved"
+			better++
 		}
-		fmt.Printf("%-10s %-13s %15.0f %15.0f %+7.1f%%%s\n",
-			r.mode, r.metric, r.old, r.new_, 100*rel(r.old, r.new_), mark)
+		fmt.Printf("%-10s %-13s %15.0f %15.0f %8s%s\n",
+			r.mode, r.metric, r.old, r.new_, relString(r.old, r.new_), mark)
+	}
+	for _, m := range vanished {
+		fmt.Printf("%-10s %-13s %15s %15s %8s  REGRESSED (mode vanished)\n", m, "-", "-", "-", "-")
+		bad++
+	}
+	if better > 0 {
+		fmt.Printf("\n%d metric(s) improved beyond %.0f%%\n", better, 100**threshold)
 	}
 	if bad > 0 {
 		fmt.Printf("\n%d metric(s) regressed beyond +%.0f%% (old: %s, new: %s)\n",
@@ -83,46 +106,76 @@ func main() {
 	fmt.Printf("\nno regressions beyond +%.0f%%\n", 100**threshold)
 }
 
-// compare builds the comparison rows for the modes common to both files,
-// in sorted mode order, and returns the names of modes present in only one
-// of them.
-func compare(oldB, newB *benchFile, threshold, minDeltaNs float64) (rows []row, missing []string) {
+// compare builds the comparison rows for the modes common to both files, in
+// sorted mode order. vanished lists modes present only in the old file
+// (lost coverage — the caller must fail on these); added lists modes present
+// only in the new file (informational).
+func compare(oldB, newB *benchFile, threshold, minDeltaNs float64) (rows []row, vanished, added []string) {
 	var modes []string
 	for name := range oldB.Modes {
 		if _, ok := newB.Modes[name]; ok {
 			modes = append(modes, name)
 		} else {
-			missing = append(missing, name)
+			vanished = append(vanished, name)
 		}
 	}
 	for name := range newB.Modes {
 		if _, ok := oldB.Modes[name]; !ok {
-			missing = append(missing, name)
+			added = append(added, name)
 		}
 	}
 	sort.Strings(modes)
-	sort.Strings(missing)
+	sort.Strings(vanished)
+	sort.Strings(added)
 
 	for _, name := range modes {
 		o, n := oldB.Modes[name], newB.Modes[name]
 		// Time needs both gates: a relative jump that is absolutely tiny is
-		// scheduler noise, not a regression.
+		// scheduler noise, not a regression. The improvement marker mirrors
+		// the regression gates so it is equally noise-proof.
 		timeRegressed := n.NsPerOp > o.NsPerOp*(1+threshold) && n.NsPerOp-o.NsPerOp > minDeltaNs
+		timeImproved := n.NsPerOp < o.NsPerOp*(1-threshold) && o.NsPerOp-n.NsPerOp > minDeltaNs
 		rows = append(rows,
-			row{name, "ns/op", o.NsPerOp, n.NsPerOp, timeRegressed},
-			row{name, "allocs/op", o.AllocsPerOp, n.AllocsPerOp, n.AllocsPerOp > o.AllocsPerOp*(1+threshold)},
-			row{name, "bytes/op", o.BytesPerOp, n.BytesPerOp, n.BytesPerOp > o.BytesPerOp*(1+threshold)},
+			row{name, "ns/op", o.NsPerOp, n.NsPerOp, timeRegressed, timeImproved},
+			countRow(name, "allocs/op", o.AllocsPerOp, n.AllocsPerOp, threshold),
+			countRow(name, "bytes/op", o.BytesPerOp, n.BytesPerOp, threshold),
 		)
 	}
-	return rows, missing
+	return rows, vanished, added
 }
 
-// rel returns the relative change from old to new (0 when old is 0).
+// countRow compares a deterministic count metric. A zero old value is a
+// legitimate baseline here (a zero-alloc benchmark is the goal state, not
+// bad data), and any count appearing on top of it is a regression — the
+// relative threshold cannot express that, so it is gated explicitly.
+func countRow(mode, metric string, old, new_, threshold float64) row {
+	regressed := new_ > old*(1+threshold)
+	if old == 0 {
+		regressed = new_ > 0
+	}
+	return row{mode, metric, old, new_, regressed, new_ < old*(1-threshold)}
+}
+
+// rel returns the relative change from old to new. +Inf when climbing off a
+// zero baseline; 0 when both are zero.
 func rel(old, new_ float64) float64 {
 	if old == 0 {
-		return 0
+		if new_ == 0 {
+			return 0
+		}
+		return math.Inf(1)
 	}
 	return (new_ - old) / old
+}
+
+// relString formats rel for the report table, avoiding a misleading
+// "+0.0%" on zero-baseline climbs.
+func relString(old, new_ float64) string {
+	r := rel(old, new_)
+	if math.IsInf(r, 1) {
+		return "+inf%"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*r)
 }
 
 func load(path string) (*benchFile, error) {
@@ -136,6 +189,17 @@ func load(path string) (*benchFile, error) {
 	}
 	if len(b.Modes) == 0 {
 		return nil, fmt.Errorf("%s: no \"modes\" in file (not a BENCH_*.json?)", path)
+	}
+	// A benchmark cannot take zero time; a mode with ns_per_op <= 0 is a
+	// truncated or hand-edited file, and comparing against it would gate
+	// nothing. Counts may legitimately be zero.
+	for name, m := range b.Modes {
+		if m.NsPerOp <= 0 {
+			return nil, fmt.Errorf("%s: mode %q has ns_per_op %v — corrupt or zero baseline", path, name, m.NsPerOp)
+		}
+		if m.AllocsPerOp < 0 || m.BytesPerOp < 0 {
+			return nil, fmt.Errorf("%s: mode %q has negative counts — corrupt baseline", path, name)
+		}
 	}
 	return &b, nil
 }

@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -28,13 +30,22 @@ func regressions(rows []row) int {
 	return n
 }
 
+func find(rows []row, mode, metric string) *row {
+	for i := range rows {
+		if rows[i].mode == mode && rows[i].metric == metric {
+			return &rows[i]
+		}
+	}
+	return nil
+}
+
 // TestBaselineVsItself is the CI-gate identity property: comparing the
 // committed baseline against itself must flag nothing.
 func TestBaselineVsItself(t *testing.T) {
 	b := readBench(t)
-	rows, missing := compare(b, b, 0.15, 5e6)
-	if len(missing) != 0 {
-		t.Fatalf("modes missing against itself: %v", missing)
+	rows, vanished, added := compare(b, b, 0.15, 5e6)
+	if len(vanished) != 0 || len(added) != 0 {
+		t.Fatalf("modes differ against itself: vanished=%v added=%v", vanished, added)
 	}
 	if len(rows) == 0 {
 		t.Fatal("no comparison rows for the committed baseline")
@@ -56,7 +67,7 @@ func TestInjectedSlowdownFlagged(t *testing.T) {
 	m.NsPerOp *= 2
 	slow.Modes["cache"] = m
 
-	rows, _ := compare(old, slow, 0.15, 5e6)
+	rows, _, _ := compare(old, slow, 0.15, 5e6)
 	if n := regressions(rows); n != 1 {
 		t.Fatalf("injected 2x cache slowdown: %d regressions flagged, want exactly 1", n)
 	}
@@ -69,7 +80,7 @@ func TestInjectedSlowdownFlagged(t *testing.T) {
 
 // TestNoiseGates: a big relative jump on a microscopic time must pass (the
 // absolute min-delta gate), and a small relative jump on a big time must
-// pass (the relative gate).
+// pass (the relative gate). The improvement marker honours the same gates.
 func TestNoiseGates(t *testing.T) {
 	old := &benchFile{Modes: map[string]benchMode{
 		"tiny": {NsPerOp: 1e6, AllocsPerOp: 100, BytesPerOp: 1000},
@@ -79,70 +90,164 @@ func TestNoiseGates(t *testing.T) {
 		"tiny": {NsPerOp: 2e6, AllocsPerOp: 100, BytesPerOp: 1000},  // +100% but +1ms only
 		"big":  {NsPerOp: 33e7, AllocsPerOp: 100, BytesPerOp: 1000}, // +10%, below threshold
 	}}
-	rows, _ := compare(old, newB, 0.15, 5e6)
+	rows, _, _ := compare(old, newB, 0.15, 5e6)
 	if n := regressions(rows); n != 0 {
 		t.Fatalf("noise flagged as regression (%d rows)", n)
+	}
+	// -1ms on the tiny mode must not count as an improvement either.
+	rows, _, _ = compare(newB, old, 0.15, 5e6)
+	if r := find(rows, "tiny", "ns/op"); r.improved {
+		t.Fatalf("-1ms flagged as improvement: %+v", r)
 	}
 	// Push the big mode past the threshold: now it must flag.
 	m := newB.Modes["big"]
 	m.NsPerOp = 4e8
 	newB.Modes["big"] = m
-	rows, _ = compare(old, newB, 0.15, 5e6)
+	rows, _, _ = compare(old, newB, 0.15, 5e6)
 	if n := regressions(rows); n != 1 {
 		t.Fatalf("+33%% on 300ms: %d regressions, want 1", n)
 	}
 }
 
-// TestMissingMode: a mode present in only one file is reported, not
-// silently dropped.
-func TestMissingMode(t *testing.T) {
+// TestImprovementReported: a genuine speedup and alloc reduction must be
+// marked improved, not merely "not regressed".
+func TestImprovementReported(t *testing.T) {
 	old := &benchFile{Modes: map[string]benchMode{
-		"a": {NsPerOp: 1}, "b": {NsPerOp: 1},
+		"cache": {NsPerOp: 342402900, AllocsPerOp: 291861, BytesPerOp: 5e7},
 	}}
 	newB := &benchFile{Modes: map[string]benchMode{
-		"a": {NsPerOp: 1}, "c": {NsPerOp: 1},
+		"cache": {NsPerOp: 238075048, AllocsPerOp: 41987, BytesPerOp: 5e7},
 	}}
-	rows, missing := compare(old, newB, 0.15, 5e6)
-	if len(rows) != 3 {
-		t.Fatalf("%d rows, want 3 (mode a only)", len(rows))
+	rows, _, _ := compare(old, newB, 0.15, 5e6)
+	if r := find(rows, "cache", "ns/op"); !r.improved || r.regressed {
+		t.Errorf("ns/op -30%% must be improved: %+v", r)
 	}
-	if len(missing) != 2 || missing[0] != "b" || missing[1] != "c" {
-		t.Fatalf("missing = %v, want [b c]", missing)
+	if r := find(rows, "cache", "allocs/op"); !r.improved || r.regressed {
+		t.Errorf("allocs/op -85%% must be improved: %+v", r)
+	}
+	if r := find(rows, "cache", "bytes/op"); r.improved || r.regressed {
+		t.Errorf("unchanged bytes must be neutral: %+v", r)
 	}
 }
 
-// TestLoadRejectsGarbage: files without a modes object are a usage error,
-// not a silent zero-comparison pass.
-func TestLoadRejectsGarbage(t *testing.T) {
-	dir := t.TempDir()
-	p := filepath.Join(dir, "x.json")
-	if err := os.WriteFile(p, []byte(`{"circuit":"x"}`), 0o644); err != nil {
+// TestZeroAllocBaseline: a zero alloc baseline is legitimate (the goal
+// state), and any count appearing on top of it is a regression the relative
+// threshold cannot express.
+func TestZeroAllocBaseline(t *testing.T) {
+	old := &benchFile{Modes: map[string]benchMode{
+		"m": {NsPerOp: 1e8, AllocsPerOp: 0, BytesPerOp: 0},
+	}}
+	newB := &benchFile{Modes: map[string]benchMode{
+		"m": {NsPerOp: 1e8, AllocsPerOp: 3, BytesPerOp: 0},
+	}}
+	rows, _, _ := compare(old, newB, 0.15, 5e6)
+	if r := find(rows, "m", "allocs/op"); !r.regressed {
+		t.Errorf("0 -> 3 allocs must regress: %+v", r)
+	}
+	if r := find(rows, "m", "bytes/op"); r.regressed || r.improved {
+		t.Errorf("0 -> 0 bytes must be neutral: %+v", r)
+	}
+}
+
+// TestVanishedAndAddedModes: a mode disappearing from the new file is lost
+// coverage (the caller fails on it); a mode appearing is added coverage.
+func TestVanishedAndAddedModes(t *testing.T) {
+	old := &benchFile{Modes: map[string]benchMode{
+		"a": {NsPerOp: 1e6}, "b": {NsPerOp: 1e6},
+	}}
+	newB := &benchFile{Modes: map[string]benchMode{
+		"a": {NsPerOp: 1e6}, "c": {NsPerOp: 1e6},
+	}}
+	rows, vanished, added := compare(old, newB, 0.15, 5e6)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3 (mode a only)", len(rows))
+	}
+	if len(vanished) != 1 || vanished[0] != "b" {
+		t.Fatalf("vanished = %v, want [b]", vanished)
+	}
+	if len(added) != 1 || added[0] != "c" {
+		t.Fatalf("added = %v, want [c]", added)
+	}
+}
+
+func TestRel(t *testing.T) {
+	if got := rel(100, 125); got != 0.25 {
+		t.Errorf("rel(100,125) = %v, want 0.25", got)
+	}
+	if got := rel(0, 0); got != 0 {
+		t.Errorf("rel(0,0) = %v, want 0", got)
+	}
+	if got := rel(0, 5); !math.IsInf(got, 1) {
+		t.Errorf("rel(0,5) = %v, want +Inf", got)
+	}
+	if got := relString(0, 5); got != "+inf%" {
+		t.Errorf("relString(0,5) = %q", got)
+	}
+	if got := relString(200, 100); got != "-50.0%" {
+		t.Errorf("relString(200,100) = %q", got)
+	}
+}
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "b.json")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := load(p); err == nil {
-		t.Fatal("file without modes accepted")
+	return p
+}
+
+// TestLoadRejectsBogusBaselines: zero or negative numbers are truncated or
+// hand-edited files; comparing against them would gate nothing.
+func TestLoadRejectsBogusBaselines(t *testing.T) {
+	cases := []struct {
+		name, json, wantErr string
+	}{
+		{"no-modes", `{"circuit":"x"}`, `no "modes"`},
+		{"zero-ns", `{"modes":{"cache":{"ns_per_op":0,"allocs_per_op":5}}}`, "zero baseline"},
+		{"negative-ns", `{"modes":{"cache":{"ns_per_op":-1}}}`, "zero baseline"},
+		{"negative-allocs", `{"modes":{"cache":{"ns_per_op":1e6,"allocs_per_op":-2}}}`, "negative counts"},
+		{"not-json", `garbage`, "invalid character"},
 	}
-	if err := os.WriteFile(p, []byte(`not json`), 0o644); err != nil {
-		t.Fatal(err)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := load(writeTemp(t, c.json))
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("load(%s) err = %v, want containing %q", c.name, err, c.wantErr)
+			}
+		})
 	}
-	if _, err := load(p); err == nil {
-		t.Fatal("unparseable file accepted")
-	}
-	// Round-trip a valid file through the schema to prove the struct tags
-	// match what bench_test.go writes.
+}
+
+// TestLoadRoundTrip proves the struct tags match what bench_test.go writes,
+// and that unknown fields (speedup_x, ...) are ignored so the schema can
+// grow.
+func TestLoadRoundTrip(t *testing.T) {
 	v := benchFile{Circuit: "c", Modes: map[string]benchMode{"m": {NsPerOp: 1, AllocsPerOp: 2, BytesPerOp: 3}}}
 	data, err := json.Marshal(v)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(p, data, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	got, err := load(p)
+	got, err := load(writeTemp(t, string(data)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.Modes["m"].BytesPerOp != 3 {
 		t.Fatalf("round-trip lost data: %+v", got.Modes["m"])
+	}
+
+	b, err := load(writeTemp(t, `{
+		"circuit": "vecmul4x10",
+		"speedup_x": 1.4,
+		"modes": {
+			"cache":   {"ns_per_op": 238075048, "allocs_per_op": 41987, "bytes_per_op": 22020626},
+			"rebuild": {"ns_per_op": 338000000, "allocs_per_op": 290000, "bytes_per_op": 30000000}
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Circuit != "vecmul4x10" || len(b.Modes) != 2 || b.Modes["cache"].AllocsPerOp != 41987 {
+		t.Errorf("schema parse wrong: %+v", b)
 	}
 }

@@ -97,6 +97,14 @@ type Graph struct {
 	mark   []uint32
 	travID uint32
 
+	// MFFCSize scratch (epoch-stamped deficits + FIFO queue), reused across
+	// calls so the hot candidate-generation loop allocates nothing. Shares
+	// the newTrav epoch with g.mark, which makes MFFC walks — like every
+	// mark-based traversal — unsafe for concurrent use.
+	mffcDef   []int32
+	mffcDefID []uint32
+	mffcQueue []int32
+
 	// caches, invalidated on structural edits
 	topo    []int32
 	levels  []int32
@@ -290,6 +298,9 @@ func (g *Graph) newTrav() uint32 {
 		for i := range g.mark {
 			g.mark[i] = 0
 		}
+		for i := range g.mffcDefID { // shares the epoch counter
+			g.mffcDefID[i] = 0
+		}
 		g.travID = 1
 	}
 	return g.travID
@@ -449,7 +460,7 @@ func (g *Graph) TFICone(roots []int32) []int32 {
 			if g.nodes[v].typ != TypeAnd {
 				continue
 			}
-			for _, w := range []int32{g.nodes[v].fan0.Var(), g.nodes[v].fan1.Var()} {
+			for _, w := range [2]int32{g.nodes[v].fan0.Var(), g.nodes[v].fan1.Var()} {
 				if g.mark[w] != id {
 					g.mark[w] = id
 					stack = append(stack, w)
@@ -544,7 +555,7 @@ func (g *Graph) MFFC(v int32) []int32 {
 		x := queue[0]
 		queue = queue[1:]
 		n := &g.nodes[x]
-		for _, fl := range []Lit{n.fan0, n.fan1} {
+		for _, fl := range [2]Lit{n.fan0, n.fan1} {
 			w := fl.Var()
 			if g.nodes[w].typ != TypeAnd || inMFFC[w] {
 				continue
@@ -566,8 +577,46 @@ func (g *Graph) MFFC(v int32) []int32 {
 	return mffc
 }
 
-// MFFCSize returns len(MFFC(v)).
-func (g *Graph) MFFCSize(v int32) int { return len(g.MFFC(v)) }
+// MFFCSize returns len(MFFC(v)) without materialising the cone. It runs
+// the same deficit walk as MFFC on reused epoch-stamped scratch — the
+// candidate generator calls it once per target per iteration, so the
+// map-free version keeps that loop allocation-free. The MFFC set (and
+// hence its size) is independent of visit order, so the two walks always
+// agree.
+func (g *Graph) MFFCSize(v int32) int {
+	if g.nodes[v].typ != TypeAnd || g.nodes[v].dead {
+		return 0
+	}
+	id := g.newTrav()
+	if len(g.mffcDef) < len(g.nodes) {
+		g.mffcDef = make([]int32, len(g.nodes)*2)
+		g.mffcDefID = make([]uint32, len(g.nodes)*2)
+	}
+	g.mark[v] = id // mark = in MFFC
+	count := 1
+	queue := append(g.mffcQueue[:0], v)
+	for qi := 0; qi < len(queue); qi++ {
+		n := &g.nodes[queue[qi]]
+		for _, fl := range [2]Lit{n.fan0, n.fan1} {
+			w := fl.Var()
+			if g.nodes[w].typ != TypeAnd || g.mark[w] == id {
+				continue
+			}
+			if g.mffcDefID[w] != id {
+				g.mffcDefID[w] = id
+				g.mffcDef[w] = int32(len(g.nodes[w].fanouts) + g.poRefs(w))
+			}
+			g.mffcDef[w]--
+			if g.mffcDef[w] == 0 {
+				g.mark[w] = id
+				count++
+				queue = append(queue, w)
+			}
+		}
+	}
+	g.mffcQueue = queue[:0]
+	return count
+}
 
 // ChangeSet reports the structural consequences of a replacement, in the
 // terms of paper §III-B: Removed nodes, and surviving nodes whose fanout

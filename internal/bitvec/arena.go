@@ -1,0 +1,141 @@
+package bitvec
+
+import "sync"
+
+// Arena is a slab allocator for equally-sized vectors: rows are carved out
+// of large contiguous word slabs instead of being individually heap
+// allocated, and the whole arena is reclaimed wholesale with Reset. It is
+// the backing store of the phase-2 hot path — CPM diff vectors, simulator
+// value matrices and region-simulation scratch all live on arenas — so a
+// steady-state phase-2 iteration performs no per-row heap allocation: a
+// fresh row is a slice of an existing slab, and a slab allocation happens
+// only when every previously carved slab is full (amortised over hundreds
+// of rows).
+//
+// Ownership rules (see DESIGN.md §9):
+//
+//   - A row handed out by Alloc/AllocRow is owned by the caller until the
+//     next Reset. The arena never reads or writes rows.
+//   - Rows come back with ARBITRARY content — like Pool.Get, callers must
+//     fully overwrite every word they later read.
+//   - Reset invalidates every outstanding row at once (the memory is
+//     retained and recycled by subsequent Allocs). It is only legal when
+//     the owner of every outstanding row has dropped it — the typical
+//     pattern is one arena per analysis round, reset at the round boundary.
+//   - Rows are plain Vec slices aliasing slab memory: two rows never
+//     overlap, so writing one row cannot corrupt another. Whether a Vec
+//     came from an arena, a pool or make() never changes computed results.
+//
+// An Arena is safe for concurrent Alloc from multiple goroutines (one
+// short critical section per row); Reset must not race with Alloc or with
+// any use of outstanding rows.
+type Arena struct {
+	words     int // row length in words
+	slabWords int // slab capacity in words (multiple of words)
+
+	mu    sync.Mutex
+	slabs [][]uint64
+	slab  int // index of the slab currently being carved
+	off   int // carve offset into slabs[slab], in words
+
+	stats ArenaStats
+}
+
+// ArenaStats is a snapshot of an arena's behaviour: every Alloc either
+// carves an existing slab (Carves) or first grows the arena by one slab
+// (SlabAllocs counts those heap allocations). Rows = Carves, so the
+// per-row allocation rate of arena-backed code is SlabAllocs/Rows.
+type ArenaStats struct {
+	Rows       int64 // rows handed out since construction
+	SlabAllocs int64 // slabs heap-allocated (the only allocations made)
+	Resets     int64 // wholesale reclaims
+}
+
+// defaultSlabRows is the number of rows a slab holds. Large enough to
+// amortise the slab allocation over many rows, small enough that a tiny
+// arena does not pin megabytes.
+const defaultSlabRows = 256
+
+// NewArena returns an arena handing out rows of w words each.
+func NewArena(w int) *Arena {
+	if w <= 0 {
+		panic("bitvec: NewArena with non-positive word length")
+	}
+	return &Arena{words: w, slabWords: w * defaultSlabRows}
+}
+
+// Words returns the row length in words.
+func (a *Arena) Words() int { return a.words }
+
+// Handle is a stable offset-based identifier of one arena row: slab index
+// and carve offset packed into one value, valid until the next Reset.
+// Handles let index-addressed structures reference rows without holding
+// slice headers (3 words each); Row resolves a handle back to its Vec.
+type Handle struct {
+	slab int32
+	off  int32 // in words
+}
+
+// Alloc returns one row of the arena's word length with arbitrary content.
+func (a *Arena) Alloc() Vec {
+	_, v := a.AllocRow()
+	return v
+}
+
+// AllocRow returns a fresh row together with its handle.
+func (a *Arena) AllocRow() (Handle, Vec) {
+	a.mu.Lock()
+	if a.slab >= len(a.slabs) || a.off+a.words > a.slabWords {
+		if a.slab+1 < len(a.slabs) {
+			a.slab++ // recycle a slab retained across a Reset
+		} else {
+			a.slabs = append(a.slabs, make([]uint64, a.slabWords))
+			a.slab = len(a.slabs) - 1
+			a.stats.SlabAllocs++
+		}
+		a.off = 0
+	}
+	h := Handle{slab: int32(a.slab), off: int32(a.off)}
+	v := Vec(a.slabs[a.slab][a.off : a.off+a.words : a.off+a.words])
+	a.off += a.words
+	a.stats.Rows++
+	a.mu.Unlock()
+	return h, v
+}
+
+// Row resolves a handle returned by AllocRow. The mapping is stable until
+// the next Reset.
+func (a *Arena) Row(h Handle) Vec {
+	return Vec(a.slabs[h.slab][h.off : int(h.off)+a.words : int(h.off)+a.words])
+}
+
+// Reset reclaims every outstanding row at once: all handles and Vecs
+// handed out so far become invalid, the slab memory is retained, and
+// subsequent Allocs recycle it from the start. See the ownership rules in
+// the type comment for when a reset is legal.
+func (a *Arena) Reset() {
+	a.mu.Lock()
+	a.slab = 0
+	a.off = 0
+	a.stats.Resets++
+	a.mu.Unlock()
+}
+
+// Stats returns a snapshot of the arena's counters.
+func (a *Arena) Stats() ArenaStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// Live returns the number of words currently carved out (the high-water
+// mark since the last Reset). Intended for leak checks in tests: after a
+// Reset, Live is 0 until the next Alloc.
+func (a *Arena) Live() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.slabs) == 0 {
+		return 0
+	}
+	return a.slab*a.slabWords + a.off
+}

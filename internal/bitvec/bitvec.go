@@ -230,22 +230,31 @@ func (v Vec) NextSet(from int) int {
 	}
 }
 
-// String renders the first min(n, 256) bits MSB-last for debugging.
-func (v Vec) String() string {
+// String renders the vector's full physical capacity (len(v)*64 bits,
+// truncated at 256) MSB-last for debugging. A Vec does not know its
+// logical bit length, so padding bits past it — and stale garbage in
+// pooled or arena rows — show up here; use StringN with the logical
+// length to render only live bits.
+func (v Vec) String() string { return v.StringN(len(v) << 6) }
+
+// StringN renders the first min(n, 256) logical bits MSB-last for
+// debugging, appending a "…(+k bits)" marker for whatever it truncates.
+// Bits past the vector's physical capacity render as 0.
+func (v Vec) StringN(n int) string {
 	var sb strings.Builder
-	n := len(v) << 6
-	if n > 256 {
-		n = 256
+	shown := n
+	if shown > 256 {
+		shown = 256
 	}
-	for i := 0; i < n; i++ {
-		if v.Get(i) {
+	for i := 0; i < shown; i++ {
+		if i < len(v)<<6 && v.Get(i) {
 			sb.WriteByte('1')
 		} else {
 			sb.WriteByte('0')
 		}
 	}
-	if len(v)<<6 > 256 {
-		fmt.Fprintf(&sb, "…(+%d bits)", len(v)<<6-256)
+	if n > shown {
+		fmt.Fprintf(&sb, "…(+%d bits)", n-shown)
 	}
 	return sb.String()
 }

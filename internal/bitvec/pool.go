@@ -17,6 +17,7 @@ import "sync"
 // pooled builds stay bit-identical to unpooled ones.
 type Pool struct {
 	words int
+	arena *Arena // optional slab backing for misses; nil: plain allocation
 
 	mu   sync.Mutex
 	free []Vec
@@ -51,6 +52,24 @@ func (s PoolStats) HitRate() float64 {
 // NewPool returns a pool of vectors of w words each.
 func NewPool(w int) *Pool { return &Pool{words: w} }
 
+// NewArenaPool returns a pool of vectors of w words each whose misses are
+// served by carving rows from a, instead of individual heap allocations:
+// the free list keeps recycling vectors exactly as before (Stats and the
+// Gets = Reuses + Misses invariant are unchanged), but a miss costs one
+// slab carve, and a heap allocation only once per defaultSlabRows misses.
+//
+// The arena must outlive the pool, and must not be Reset while any vector
+// handed out by the pool — free-listed or in use — is still reachable:
+// after a Reset, previously pooled vectors alias recycled slab memory. The
+// only safe reset pattern is to drop the pool together with the arena (or
+// to drain and rebuild it).
+func NewArenaPool(w int, a *Arena) *Pool {
+	if a.Words() != w {
+		panic("bitvec: NewArenaPool word length does not match the arena's")
+	}
+	return &Pool{words: w, arena: a}
+}
+
 // Words returns the word length of the pool's vectors.
 func (p *Pool) Words() int { return p.words }
 
@@ -69,8 +88,14 @@ func (p *Pool) Get() Vec {
 	}
 	p.stats.Misses++
 	p.mu.Unlock()
+	if p.arena != nil {
+		return p.arena.Alloc()
+	}
 	return NewWords(p.words)
 }
+
+// Arena returns the arena backing this pool's misses, or nil.
+func (p *Pool) Arena() *Arena { return p.arena }
 
 // Put recycles v into the free list. v must have the pool's word length and
 // must not be used by the caller afterwards. Put(nil) is a no-op.

@@ -166,9 +166,10 @@ type engine struct {
 	exact []bitvec.Vec
 	stats Stats
 
-	poScratch bitvec.Vec
-	iter      int  // applied-LAC counter (1-based in callbacks)
-	incCuts   bool // maintain cuts incrementally on apply (dual-phase flows)
+	poScratch  bitvec.Vec
+	targetsBuf []int32 // liveTargets scratch, reused across iterations
+	iter       int     // applied-LAC counter (1-based in callbacks)
+	incCuts    bool    // maintain cuts incrementally on apply (dual-phase flows)
 
 	// Observability (see internal/obs). root is the run-level span — never
 	// nil, since the no-op tracer still hands out timestamp-only spans the
@@ -285,14 +286,17 @@ func newEngine(orig *aig.Graph, opt Options) (*engine, error) {
 	return e, nil
 }
 
-// liveTargets returns all live AND nodes in topological order.
+// liveTargets returns all live AND nodes in topological order. The slice
+// is engine-owned scratch, valid until the next call — every caller hands
+// it straight to the evaluator and drops it.
 func (e *engine) liveTargets() []int32 {
-	var out []int32
+	out := e.targetsBuf[:0]
 	for _, v := range e.g.Topo() {
 		if e.g.IsAnd(v) {
 			out = append(out, v)
 		}
 	}
+	e.targetsBuf = out
 	return out
 }
 

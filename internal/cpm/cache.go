@@ -95,10 +95,13 @@ type Cache struct {
 func NewCache(g *aig.Graph, s *sim.Sim) *Cache {
 	n := g.NumVars()
 	return &Cache{
-		g:     g,
-		s:     s,
-		res:   &Result{Words: s.Words(), rows: make([]Row, n)},
-		pool:  bitvec.NewPool(s.Words()),
+		g:   g,
+		s:   s,
+		res: &Result{Words: s.Words(), rows: make([]Row, n)},
+		// Pool misses carve rows from a slab arena instead of allocating
+		// individually; the arena lives (and is never Reset) as long as the
+		// cache, so recycled and carved rows are interchangeable.
+		pool:  bitvec.NewArenaPool(s.Words(), bitvec.NewArena(s.Words())),
 		valid: make([]bool, n),
 		pos:   make([]int32, n),
 		mark:  make([]uint32, n),

@@ -127,9 +127,19 @@ type regionSimulator struct {
 
 	inRegion []uint32
 	epoch    uint32
+	arena    *bitvec.Arena // backs scratch and local; never reset
 	scratch  []bitvec.Vec
 	region   []int32
+	stack    []int32    // region-collection DFS scratch
 	local    bitvec.Vec // scratch for one element-local diff at a time
+}
+
+// sort.Interface over rs.region by topological position, so propagate can
+// sort with zero allocations (sort.Slice allocates its closure per call).
+func (rs *regionSimulator) Len() int           { return len(rs.region) }
+func (rs *regionSimulator) Less(i, j int) bool { return rs.pos[rs.region[i]] < rs.pos[rs.region[j]] }
+func (rs *regionSimulator) Swap(i, j int) {
+	rs.region[i], rs.region[j] = rs.region[j], rs.region[i]
 }
 
 // localDiff returns the worker-private scratch vector used to hold the
@@ -137,7 +147,7 @@ type regionSimulator struct {
 // assembled at a time, so a single vector per worker suffices.
 func (rs *regionSimulator) localDiff() bitvec.Vec {
 	if rs.local == nil {
-		rs.local = bitvec.NewWords(rs.words)
+		rs.local = rs.arena.Alloc()
 	}
 	return rs.local
 }
@@ -159,6 +169,7 @@ func newRegionSimulator(g *aig.Graph, s *sim.Sim, pos []int32) *regionSimulator 
 		words:    s.Words(),
 		pos:      pos,
 		inRegion: make([]uint32, g.NumVars()),
+		arena:    bitvec.NewArena(s.Words()),
 		scratch:  make([]bitvec.Vec, g.NumVars()),
 	}
 }
@@ -174,7 +185,9 @@ func (rs *regionSimulator) flipVal(v int32) bitvec.Vec {
 
 func (rs *regionSimulator) ensureScratch(v int32) bitvec.Vec {
 	if rs.scratch[v] == nil {
-		rs.scratch[v] = bitvec.NewWords(rs.words)
+		// Arena rows hold garbage; every scratch vector is fully written
+		// by propagate before it is read.
+		rs.scratch[v] = rs.arena.Alloc()
 	}
 	return rs.scratch[v]
 }
@@ -197,7 +210,7 @@ func (rs *regionSimulator) beginRegion(n int32) {
 func (rs *regionSimulator) collectBounded(n int32, boundary map[int32]bool) {
 	rs.beginRegion(n)
 	g := rs.g
-	stack := []int32{n}
+	stack := append(rs.stack[:0], n)
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -212,6 +225,7 @@ func (rs *regionSimulator) collectBounded(n int32, boundary map[int32]bool) {
 			}
 		}
 	}
+	rs.stack = stack[:0]
 }
 
 // collectDepth gathers the transitive fanout of n up to l levels (edges);
@@ -244,7 +258,7 @@ func (rs *regionSimulator) collectDepth(n int32, l int, depth map[int32]int) (fr
 // propagate flips node n and simulates the collected region in topological
 // order. After the call flipVal returns in-region values.
 func (rs *regionSimulator) propagate(n int32) {
-	sort.Slice(rs.region, func(i, j int) bool { return rs.pos[rs.region[i]] < rs.pos[rs.region[j]] })
+	sort.Sort(rs) // rs.region by topo position; see the sort.Interface methods
 	g := rs.g
 	sn := rs.ensureScratch(n)
 	sn.Not(rs.s.Val(n))
@@ -277,13 +291,14 @@ func (rs *regionSimulator) diffAt(v int32, dst bitvec.Vec) {
 // written by exactly one worker and read only after its dependency wave
 // completed) and the atomic reference counts.
 type disjointBuilder struct {
-	g    *aig.Graph
-	s    *sim.Sim
-	cuts *cut.Set
-	res  *Result
-	keep []bool
-	refs []int32      // atomic: still-unprocessed consumers per row; nil: keep every row
-	pool *bitvec.Pool // diff-vector allocator; nil: plain allocation
+	g     *aig.Graph
+	s     *sim.Sim
+	cuts  *cut.Set
+	res   *Result
+	keep  []bool
+	refs  []int32       // atomic: still-unprocessed consumers per row; nil: keep every row
+	pool  *bitvec.Pool  // diff-vector allocator; nil: fall through to arena
+	arena *bitvec.Arena // per-build slab backing when unpooled; nil: plain allocation
 }
 
 // newVec returns a zero-or-garbage diff vector; every caller fully
@@ -291,6 +306,9 @@ type disjointBuilder struct {
 func (b *disjointBuilder) newVec() bitvec.Vec {
 	if b.pool != nil {
 		return b.pool.Get()
+	}
+	if b.arena != nil {
+		return b.arena.Alloc()
 	}
 	return bitvec.NewWords(b.res.Words)
 }
@@ -328,8 +346,26 @@ func (b *disjointBuilder) processNode(rs *regionSimulator, cutSet map[int32]bool
 	// Work accounting: one words-wide pass per region node simulated and
 	// per diff vector assembled; folded in with one atomic add per node.
 	w := int64(1+len(rs.region)) * int64(b.res.Words)
-	// Assemble the row: Eq. (1) per covered PO.
+	// Assemble the row: Eq. (1) per covered PO. The entry count is known
+	// up front (one per sink, one per element-row PO), so a fresh or
+	// undersized row grows with exactly one allocation per slice instead
+	// of doubling its way up — row assembly dominated the builder's
+	// allocation profile before this.
 	row := &b.res.rows[v]
+	total := 0
+	for _, e := range elems {
+		if cut.IsSink(e) {
+			total++
+		} else {
+			total += len(b.res.rows[e].POs)
+		}
+	}
+	if cap(row.POs) < total {
+		row.POs = make([]int32, 0, total)
+	}
+	if cap(row.Diffs) < total {
+		row.Diffs = make([]bitvec.Vec, 0, total)
+	}
 	for _, e := range elems {
 		if cut.IsSink(e) {
 			// A sink is a universal one-cut: P[v,o] is the Boolean
@@ -445,7 +481,12 @@ func BuildDisjointCtx(ctx context.Context, g *aig.Graph, s *sim.Sim, cuts *cut.S
 		waves[lvl[v]] = append(waves[lvl[v]], v)
 	}
 
-	b := &disjointBuilder{g: g, s: s, cuts: cuts, res: res, keep: keep, refs: refs}
+	// Published diff vectors are carved from one per-build arena (released
+	// intermediate rows are dropped, not recycled — their slab memory is
+	// reclaimed with everything else when the Result is). The Result's rows
+	// keep the slabs reachable, so the arena needs no owner beyond b.
+	b := &disjointBuilder{g: g, s: s, cuts: cuts, res: res, keep: keep, refs: refs,
+		arena: bitvec.NewArena(res.Words)}
 	workers := par.ScratchSlots(threads, len(procList))
 	rss := make([]*regionSimulator, workers)
 	cutSets := make([]map[int32]bool, workers)

@@ -48,8 +48,10 @@ type Set struct {
 	cuts  [][]int32    // per var: disjoint cut elements
 
 	// scratch
-	tmp bitvec.Vec
-	pos []int32 // UpdateAfter scratch: topo position per var (-1: not live)
+	tmp        bitvec.Vec
+	pos        []int32       // UpdateAfter scratch: topo position per var (-1: not live)
+	scr        []*cutScratch // per-worker recompute scratch, indexed by par worker id
+	reachArena *bitvec.Arena // slab backing for reach bitsets; never reset
 
 	// Stats of the last update.
 	LastRecomputed int
@@ -81,6 +83,9 @@ func NewSetCtx(ctx context.Context, g *aig.Graph, threads int) (*Set, error) {
 		g:       g,
 		poWords: bitvec.Words(g.NumPOs()),
 	}
+	if s.poWords > 0 { // a PO-less graph has empty reach bitsets: nothing to back
+		s.reachArena = bitvec.NewArena(s.poWords)
+	}
 	s.grow()
 	s.tmp = bitvec.NewWords(s.poWords)
 	if par.Workers(threads) <= 1 {
@@ -91,15 +96,18 @@ func NewSetCtx(ctx context.Context, g *aig.Graph, threads int) (*Set, error) {
 				rev = append(rev, v)
 			}
 		}
-		err := par.ForCtx(ctx, 1, len(rev), func(_, i int) { s.recompute(rev[i]) })
+		sc := s.scratchFor(1)[0]
+		err := par.ForCtx(ctx, 1, len(rev), func(_, i int) { s.recompute(sc, rev[i]) })
 		return s, err
 	}
 	// recompute(v) only reads state of nodes in v's transitive fanout and
 	// only writes v's own entries, so the nodes of one reverse-topological
 	// level are independent: fan each level out, with a barrier between
 	// levels so fanout-side cuts are complete (and visible) before use.
+	// Worker ids are stable per goroutine, so each worker owns its scratch.
+	scr := s.scratchFor(par.Workers(threads))
 	for _, level := range g.ReverseLevels() {
-		if err := par.ForEachCtx(ctx, threads, level, func(_ int, v int32) { s.recompute(v) }); err != nil {
+		if err := par.ForEachCtx(ctx, threads, level, func(w int, v int32) { s.recompute(scr[w], v) }); err != nil {
 			return s, err
 		}
 	}
@@ -161,31 +169,77 @@ func (s *Set) elemsIntersect(a, b int32) bool {
 	}
 }
 
-// cutOf returns the expansion of element e: its own disjoint cut for nodes,
-// itself for sinks.
-func (s *Set) cutOf(e int32) []int32 {
-	if IsSink(e) {
-		return []int32{e}
-	}
-	return s.cuts[e]
+// cutScratch is the per-worker scratch of recompute: a reused element
+// buffer plus epoch-stamped dedup marks for node and sink elements. It
+// replaces the per-call maps that dominated cut-update allocations; one
+// scratch belongs to exactly one par worker at a time.
+type cutScratch struct {
+	elems    []int32
+	varMark  []uint32 // per var, stamped with epoch
+	sinkMark []uint32 // per PO index, stamped with epoch
+	epoch    uint32
+	one      [1]int32 // backing for a sink's single-element expansion
 }
 
-// successors returns the deduplicated immediate successor elements of v:
-// live fanout nodes plus sinks for directly driven POs.
-func (s *Set) successors(v int32) []int32 {
-	var elems []int32
-	seen := map[int32]bool{}
+// nextEpoch starts a fresh dedup set (growing the mark arrays as needed).
+func (sc *cutScratch) nextEpoch(numVars, numPOs int) {
+	if len(sc.varMark) < numVars {
+		sc.varMark = append(sc.varMark, make([]uint32, numVars*2-len(sc.varMark))...)
+	}
+	if len(sc.sinkMark) < numPOs {
+		sc.sinkMark = append(sc.sinkMark, make([]uint32, numPOs*2-len(sc.sinkMark))...)
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: clear and restart
+		for i := range sc.varMark {
+			sc.varMark[i] = 0
+		}
+		for i := range sc.sinkMark {
+			sc.sinkMark[i] = 0
+		}
+		sc.epoch = 1
+	}
+}
+
+// mark records element e in the current epoch and reports whether it was
+// already recorded.
+func (sc *cutScratch) mark(e int32) bool {
+	m := sc.varMark
+	i := e
+	if IsSink(e) {
+		m = sc.sinkMark
+		i = int32(SinkPO(e))
+	}
+	if m[i] == sc.epoch {
+		return true
+	}
+	m[i] = sc.epoch
+	return false
+}
+
+// scratchFor returns (growing if needed) the first `workers` recompute
+// scratches.
+func (s *Set) scratchFor(workers int) []*cutScratch {
+	for len(s.scr) < workers {
+		s.scr = append(s.scr, &cutScratch{})
+	}
+	return s.scr[:workers]
+}
+
+// successors appends the deduplicated immediate successor elements of v —
+// live fanout nodes plus sinks for directly driven POs — to sc.elems.
+func (s *Set) successors(sc *cutScratch, v int32) []int32 {
+	sc.nextEpoch(s.g.NumVars(), s.g.NumPOs())
+	elems := sc.elems[:0]
 	for _, f := range s.g.Fanouts(v) {
-		if !s.g.IsDead(f) && !seen[f] {
-			seen[f] = true
+		if !s.g.IsDead(f) && !sc.mark(f) {
 			elems = append(elems, f)
 		}
 	}
 	for o, po := range s.g.POs() {
 		if po.Var() == v {
 			e := EncodeSink(o)
-			if !seen[e] {
-				seen[e] = true
+			if !sc.mark(e) {
 				elems = append(elems, e)
 			}
 		}
@@ -194,21 +248,24 @@ func (s *Set) successors(v int32) []int32 {
 }
 
 // recompute rebuilds reach and cut of node v from its successors, whose
-// cuts must already be valid.
-func (s *Set) recompute(v int32) {
-	elems := s.successors(v)
+// cuts must already be valid, using sc as worker-private scratch.
+func (s *Set) recompute(sc *cutScratch, v int32) {
+	elems := s.successors(sc, v)
 	// Work accounting: the reach union costs one poWords pass per
 	// successor, each conflict-scan pair one Intersects; counted locally
-	// and folded in with a single atomic add per node.
+	// and folded in with a single atomic add at the end (a deferred
+	// closure would heap-allocate once per call).
 	w := int64(1+len(elems)) * int64(s.poWords)
-	defer func() { atomic.AddInt64(&s.work, w) }()
 
 	// Reachability: union over successors.
 	if s.reach[v] == nil {
-		s.reach[v] = bitvec.NewWords(s.poWords)
-	} else {
-		s.reach[v].Clear()
+		if s.reachArena != nil {
+			s.reach[v] = s.reachArena.Alloc()
+		} else {
+			s.reach[v] = bitvec.NewWords(s.poWords)
+		}
 	}
+	s.reach[v].Clear() // arena rows hold garbage; always start from zero
 	for _, e := range elems {
 		if IsSink(e) {
 			s.reach[v].Set(SinkPO(e), true)
@@ -247,20 +304,27 @@ func (s *Set) recompute(v int32) {
 		// Remove both (cj > ci).
 		elems = append(elems[:cj], elems[cj+1:]...)
 		elems = append(elems[:ci], elems[ci+1:]...)
-		seen := map[int32]bool{}
+		sc.nextEpoch(s.g.NumVars(), s.g.NumPOs())
 		for _, e := range elems {
-			seen[e] = true
+			sc.mark(e)
 		}
-		for _, src := range [][]int32{s.cutOf(ei), s.cutOf(ej)} {
+		for _, raised := range [2]int32{ei, ej} {
+			src := sc.one[:0]
+			if IsSink(raised) {
+				src = append(src, raised) // a sink expands to itself
+			} else {
+				src = s.cuts[raised]
+			}
 			for _, e := range src {
-				if !seen[e] {
-					seen[e] = true
+				if !sc.mark(e) {
 					elems = append(elems, e)
 				}
 			}
 		}
 	}
+	sc.elems = elems[:0]
 	s.cuts[v] = append(s.cuts[v][:0], elems...)
+	atomic.AddInt64(&s.work, w)
 }
 
 // UpdateAfter incrementally repairs the cut set after a replacement,
@@ -304,8 +368,9 @@ func (s *Set) UpdateAfter(cs aig.ChangeSet) []int32 {
 		}
 	}
 	sort.Slice(sv, func(i, j int) bool { return pos[sv[i]] > pos[sv[j]] })
+	sc := s.scratchFor(1)[0]
 	for _, v := range sv {
-		s.recompute(v)
+		s.recompute(sc, v)
 	}
 	s.LastRecomputed = len(sv)
 	return sv

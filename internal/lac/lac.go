@@ -36,6 +36,22 @@ type LAC struct {
 // IsConst reports whether the LAC replaces its target by a constant.
 func (l LAC) IsConst() bool { return l.NewLit.Var() == 0 }
 
+// DiffOperands returns the unmaterialised form of DiffMask: the target's
+// value flips exactly on the set bits of tv ⊕ nv ⊕ inv, where inv is a
+// word-level complement mask (all-ones when NewLit is complemented). For
+// constant LACs nv is the simulator's all-zero constant vector. Feeding
+// the operands straight into metric.Evaluator.EvalLACXor scores the
+// candidate without writing a diff vector; padding bits that inv sets
+// past the pattern count are harmless because CPM rows are masked.
+func (l LAC) DiffOperands(s *sim.Sim) (tv, nv bitvec.Vec, inv uint64) {
+	tv = s.Val(l.Target)
+	nv = s.Val(l.NewLit.Var())
+	if l.NewLit.IsCompl() {
+		inv = ^uint64(0)
+	}
+	return tv, nv, inv
+}
+
 // DiffMask writes into dst the patterns under which the target's value
 // changes when the LAC is applied: val(target) ⊕ val(NewLit).
 func (l LAC) DiffMask(s *sim.Sim, dst bitvec.Vec) {
@@ -94,6 +110,24 @@ type Generator struct {
 	signals []int32 // PIs and live AND nodes, sorted by sampled popcount
 	pops    []int   // parallel: sampled popcount
 	rank    map[int32]int
+
+	// Reused scratch. Candidate generation is serial by contract (it walks
+	// shared graph traversal state), so these need no locking; the
+	// per-worker evaluators are indexed by stable par worker ids.
+	evs      []*metric.Evaluator // per-worker metric scratch
+	evState  *metric.State       // state the evaluators are bound to
+	lacBuf   []LAC               // all candidates of one EvaluateTargets call
+	offs     [][2]int            // per target: [start, end) into lacBuf
+	tfoMark  []bool              // sasimi: TFO membership of the current target
+	tfoList  []int32             // sasimi: marked nodes, for O(cone) reset
+	tfoStack []int32             // sasimi: DFS stack
+	scored   []scoredCand        // sasimi: similarity-ranked neighbourhood
+}
+
+type scoredCand struct {
+	node  int32
+	compl bool
+	dist  int
 }
 
 // NewGenerator builds a generator and its signal index.
@@ -172,14 +206,21 @@ func samplePop(v bitvec.Vec, words int) int {
 func popcount(x uint64) int { return bits.OnesCount64(x) }
 
 // CandidatesFor returns the candidate LACs targeting node v. The target's
-// MFFC size is attached as the gain of every candidate.
+// MFFC size is attached as the gain of every candidate. Not safe for
+// concurrent use (shares graph traversal state and generator scratch).
 func (gen *Generator) CandidatesFor(v int32) []LAC {
+	return gen.appendCandidates(nil, v)
+}
+
+// appendCandidates appends v's candidate LACs to out. The batch evaluator
+// routes every target through one shared buffer, so steady-state candidate
+// generation allocates nothing.
+func (gen *Generator) appendCandidates(out []LAC, v int32) []LAC {
 	g := gen.g
 	if !g.IsAnd(v) {
-		return nil
+		return out
 	}
 	gain := g.MFFCSize(v)
-	var out []LAC
 	if gen.opt.Constants {
 		out = append(out,
 			LAC{Target: v, NewLit: aig.False, Gain: gain},
@@ -187,14 +228,44 @@ func (gen *Generator) CandidatesFor(v int32) []LAC {
 		)
 	}
 	if gen.opt.SASIMI {
-		out = append(out, gen.sasimiFor(v, gain)...)
+		out = gen.sasimiAppend(out, v, gain)
 	}
 	return out
 }
 
-// sasimiFor scans the popcount-sorted neighbourhood of v for the most
-// similar signals (direct or complemented) outside v's transitive fanout.
-func (gen *Generator) sasimiFor(v int32, gain int) []LAC {
+// markTFO marks v's transitive-fanout cone (v included) in gen.tfoMark,
+// resetting the marks of the previous call first — substituting a signal
+// from the cone would create a cycle.
+func (gen *Generator) markTFO(v int32) {
+	g := gen.g
+	for _, u := range gen.tfoList {
+		gen.tfoMark[u] = false
+	}
+	gen.tfoList = gen.tfoList[:0]
+	if n := g.NumVars(); len(gen.tfoMark) < n {
+		gen.tfoMark = make([]bool, n*2)
+	}
+	gen.tfoMark[v] = true
+	gen.tfoList = append(gen.tfoList, v)
+	stack := append(gen.tfoStack[:0], v)
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.Fanouts(x) {
+			if !gen.tfoMark[w] && !g.IsDead(w) {
+				gen.tfoMark[w] = true
+				gen.tfoList = append(gen.tfoList, w)
+				stack = append(stack, w)
+			}
+		}
+	}
+	gen.tfoStack = stack[:0]
+}
+
+// sasimiAppend scans the popcount-sorted neighbourhood of v for the most
+// similar signals (direct or complemented) outside v's transitive fanout
+// and appends them to out.
+func (gen *Generator) sasimiAppend(out []LAC, v int32, gain int) []LAC {
 	g := gen.g
 	s := gen.s
 	sw := gen.sampleWords()
@@ -203,30 +274,19 @@ func (gen *Generator) sasimiFor(v int32, gain int) []LAC {
 		sampleBits = p
 	}
 
-	// Forbidden set: v itself and its TFO cone (substitution would create
-	// a cycle).
-	forbidden := map[int32]bool{}
-	for _, u := range g.TFOCone([]int32{v}) {
-		forbidden[u] = true
-	}
-
 	r, ok := gen.rank[v]
 	if !ok {
-		return nil
+		return out
 	}
-	type scored struct {
-		node  int32
-		compl bool
-		dist  int
-	}
-	var cands []scored
+	gen.markTFO(v)
+	cands := gen.scored[:0]
 	vv := s.Val(v)
 	consider := func(i int) {
 		if i < 0 || i >= len(gen.signals) {
 			return
 		}
 		u := gen.signals[i]
-		if u == v || forbidden[u] || g.IsDead(u) {
+		if u == v || gen.tfoMark[u] || g.IsDead(u) {
 			return
 		}
 		d := 0
@@ -235,9 +295,9 @@ func (gen *Generator) sasimiFor(v int32, gain int) []LAC {
 			d += popcount(vv[w] ^ uv[w])
 		}
 		if d <= sampleBits-d {
-			cands = append(cands, scored{u, false, d})
+			cands = append(cands, scoredCand{u, false, d})
 		} else {
-			cands = append(cands, scored{u, true, sampleBits - d})
+			cands = append(cands, scoredCand{u, true, sampleBits - d})
 		}
 	}
 	// Same-polarity neighbourhood: similar popcount.
@@ -254,15 +314,21 @@ func (gen *Generator) sasimiFor(v int32, gain int) []LAC {
 		consider(ci + off)
 	}
 	sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
-	var out []LAC
-	seen := map[int32]bool{}
+	gen.scored = cands[:0]
+	base := len(out)
 	for _, c := range cands {
-		if seen[c.node] {
+		dup := false
+		for _, prev := range out[base:] { // ≤ MaxPerNode entries: linear dedup
+			if prev.NewLit.Var() == c.node {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[c.node] = true
 		out = append(out, LAC{Target: v, NewLit: aig.MakeLit(c.node, c.compl), Gain: gain})
-		if len(out) >= gen.opt.MaxPerNode {
+		if len(out)-base >= gen.opt.MaxPerNode {
 			break
 		}
 	}
@@ -303,32 +369,43 @@ func EvaluateTargets(gen *Generator, res *cpm.Result, st *metric.State, targets 
 // alongside the partial (unsorted, incomplete) bests, which the caller
 // must discard. An uncancelled run is bit-identical to EvaluateTargets.
 func EvaluateTargetsCtx(ctx context.Context, gen *Generator, res *cpm.Result, st *metric.State, targets []int32, threads int) ([]NodeBest, int64, error) {
-	cands := make([][]LAC, len(targets))
-	for i, v := range targets {
+	// Candidate generation is serial (shared graph traversal state); all
+	// targets share one reused buffer, addressed by [start, end) offsets so
+	// growth during generation cannot invalidate earlier targets' slices.
+	gen.lacBuf = gen.lacBuf[:0]
+	gen.offs = gen.offs[:0]
+	for _, v := range targets {
+		start := len(gen.lacBuf)
 		if res.Has(v) {
-			cands[i] = gen.CandidatesFor(v)
+			gen.lacBuf = gen.appendCandidates(gen.lacBuf, v)
 		}
+		gen.offs = append(gen.offs, [2]int{start, len(gen.lacBuf)})
 	}
 	var work int64
 	out := make([]NodeBest, len(targets))
 	workers := par.ScratchSlots(threads, len(targets))
-	evs := make([]*metric.Evaluator, workers)
-	masks := make([]bitvec.Vec, workers)
+	if gen.evState != st {
+		gen.evs = gen.evs[:0]
+		gen.evState = st
+	}
+	for len(gen.evs) < workers {
+		gen.evs = append(gen.evs, nil)
+	}
+	evs := gen.evs[:workers]
 	err := par.ForCtx(ctx, threads, len(targets), func(w, i int) {
 		if evs[w] == nil {
 			evs[w] = st.NewEvaluator()
-			masks[w] = bitvec.NewWords(gen.s.Words())
 		}
-		ev, D := evs[w], masks[w]
+		ev := evs[w]
 		v := targets[i]
+		cl := gen.lacBuf[gen.offs[i][0]:gen.offs[i][1]]
 		nb := NodeBest{Node: v, Best: Eval{Err: -1}}
 		row := res.Row(v)
-		// One words-wide pass for the diff mask plus one per row entry
-		// inspected, per candidate.
-		wk := int64(len(cands[i])) * int64(1+len(row.POs)) * int64(gen.s.Words())
-		for _, cand := range cands[i] {
-			cand.DiffMask(gen.s, D)
-			e := ev.EvalLAC(D, row)
+		// One words-wide fused diff–score pass per row entry, per candidate.
+		wk := int64(len(cl)) * int64(len(row.POs)) * int64(gen.s.Words())
+		for _, cand := range cl {
+			tv, nv, inv := cand.DiffOperands(gen.s)
+			e := ev.EvalLACXor(tv, nv, inv, row)
 			nb.N++
 			if nb.Best.Err < 0 || e < nb.Best.Err ||
 				(e == nb.Best.Err && cand.Gain > nb.Best.Gain) {

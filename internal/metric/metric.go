@@ -228,45 +228,69 @@ func (st *State) EvalLAC(D bitvec.Vec, row *cpm.Row) float64 {
 
 // EvalLAC is the worker-scratch variant of State.EvalLAC.
 func (ev *Evaluator) EvalLAC(D bitvec.Vec, row *cpm.Row) float64 {
+	return ev.evalFlips(D, nil, 0, row)
+}
+
+// EvalLACXor is EvalLAC with the value-change mask supplied unmaterialised:
+// the mask is a ⊕ b ⊕ inv, where inv is a word-level complement mask (zero
+// or all-ones), so scoring a candidate needs no scratch diff vector at all.
+// A nil b stands for the all-zero vector (constant-0 replacement). Padding
+// bits that inv turns on past the logical length never contribute: the CPM
+// row vectors they are ANDed with are masked.
+func (ev *Evaluator) EvalLACXor(a, b bitvec.Vec, inv uint64, row *cpm.Row) float64 {
+	return ev.evalFlips(a, b, inv, row)
+}
+
+// evalFlips scores the LAC whose value-change mask is a⊕b⊕inv (nil b = zero
+// vector). The per-bit scan visits rows in PO order, words ascending, bits
+// ascending — the float fold over ev.touched below inherits that insertion
+// order, which is what keeps results bit-identical across thread counts.
+// The inner loops are specialised per metric kind (the fused "diff-score"
+// half of the resimulate→diff→popcount pipeline): MHD folds whole words
+// with popcounts and never touches per-pattern scratch, ER counts mismatch
+// deltas, MSE/MED accumulate weighted deviations.
+func (ev *Evaluator) evalFlips(a, b bitvec.Vec, inv uint64, row *cpm.Row) float64 {
 	st := ev.st
+	x := float64(st.patterns)
+	if st.kind == MHD {
+		// Mean Hamming distance is linear in the per-(pattern, PO) flips:
+		// a flip on an agreeing bit adds one mismatch, on a disagreeing
+		// bit removes one. Both counts come from word-level popcounts, so
+		// the whole evaluation is branch-free per word and exact.
+		sum := st.mismSum
+		for ri, o := range row.POs {
+			p := row.Diffs[ri]
+			curW, exW := st.cur[o], st.exact[o]
+			plus, minus := 0, 0
+			for wi := 0; wi < len(a); wi++ {
+				w := a[wi]
+				if b != nil {
+					w ^= b[wi]
+				}
+				w = (w ^ inv) & p[wi]
+				if w == 0 {
+					continue
+				}
+				agree := ^(curW[wi] ^ exW[wi])
+				plus += bits.OnesCount64(w & agree)
+				minus += bits.OnesCount64(w &^ agree)
+			}
+			sum += int64(plus - minus)
+		}
+		return float64(sum) / x
+	}
 	ev.touched = ev.touched[:0]
+	numeric := st.kind == MSE || st.kind == MED
 	for ri, o := range row.POs {
 		p := row.Diffs[ri]
-		curW := st.cur[o]
-		exW := st.exact[o]
-		oi := int(o)
-		for wi := 0; wi < len(D); wi++ {
-			w := D[wi] & p[wi]
-			if w == 0 {
-				continue
-			}
-			base := wi << 6
-			cw, ew := curW[wi], exW[wi]
-			for w != 0 {
-				bit := trailing(w)
-				i := base + bit
-				if !ev.onStack[i] {
-					ev.onStack[i] = true
-					ev.touched = append(ev.touched, int32(i))
-				}
-				curBit := cw>>uint(bit)&1 != 0
-				if st.kind == ER || st.kind == MHD {
-					exBit := ew>>uint(bit)&1 != 0
-					if curBit == exBit {
-						ev.dMism[i]++
-					} else {
-						ev.dMism[i]--
-					}
-				} else {
-					ev.delta[i] += st.flipDelta(oi, curBit)
-				}
-				w &= w - 1
-			}
+		if numeric {
+			ev.scanDelta(a, b, p, st.cur[o], inv, st.weights[o])
+		} else {
+			ev.scanMism(a, b, p, st.cur[o], st.exact[o], inv)
 		}
 	}
 	// Fold.
 	var out float64
-	x := float64(st.patterns)
 	switch st.kind {
 	case ER:
 		cnt := st.errCount
@@ -280,12 +304,6 @@ func (ev *Evaluator) EvalLAC(D bitvec.Vec, row *cpm.Row) float64 {
 			}
 		}
 		out = float64(cnt) / x
-	case MHD:
-		sum := st.mismSum
-		for _, i := range ev.touched {
-			sum += int64(ev.dMism[i])
-		}
-		out = float64(sum) / x
 	case MSE:
 		sum := st.errSum
 		for _, i := range ev.touched {
@@ -304,11 +322,76 @@ func (ev *Evaluator) EvalLAC(D bitvec.Vec, row *cpm.Row) float64 {
 	// Reset scratch.
 	for _, i := range ev.touched {
 		ev.onStack[i] = false
-		ev.delta[i] = 0
-		ev.dMism[i] = 0
+		if numeric {
+			ev.delta[i] = 0
+		} else {
+			ev.dMism[i] = 0
+		}
 	}
 	ev.touched = ev.touched[:0]
 	return out
+}
+
+// scanMism is the ER inner loop: record the mismatch-count delta of every
+// flipped (pattern, PO) bit.
+func (ev *Evaluator) scanMism(a, b, p, curW, exW bitvec.Vec, inv uint64) {
+	for wi := 0; wi < len(a); wi++ {
+		w := a[wi]
+		if b != nil {
+			w ^= b[wi]
+		}
+		w = (w ^ inv) & p[wi]
+		if w == 0 {
+			continue
+		}
+		base := wi << 6
+		agree := ^(curW[wi] ^ exW[wi])
+		for w != 0 {
+			bit := trailing(w)
+			i := base + bit
+			if !ev.onStack[i] {
+				ev.onStack[i] = true
+				ev.touched = append(ev.touched, int32(i))
+			}
+			if agree>>uint(bit)&1 != 0 {
+				ev.dMism[i]++
+			} else {
+				ev.dMism[i]--
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// scanDelta is the MSE/MED inner loop: accumulate the signed deviation
+// delta (±wo per flip, sign from the current bit) of every flipped bit.
+func (ev *Evaluator) scanDelta(a, b, p, curW bitvec.Vec, inv uint64, wo float64) {
+	for wi := 0; wi < len(a); wi++ {
+		w := a[wi]
+		if b != nil {
+			w ^= b[wi]
+		}
+		w = (w ^ inv) & p[wi]
+		if w == 0 {
+			continue
+		}
+		base := wi << 6
+		cw := curW[wi]
+		for w != 0 {
+			bit := trailing(w)
+			i := base + bit
+			if !ev.onStack[i] {
+				ev.onStack[i] = true
+				ev.touched = append(ev.touched, int32(i))
+			}
+			if cw>>uint(bit)&1 != 0 {
+				ev.delta[i] -= wo
+			} else {
+				ev.delta[i] += wo
+			}
+			w &= w - 1
+		}
+	}
 }
 
 func trailing(b uint64) int { return bits.TrailingZeros64(b) }

@@ -112,11 +112,12 @@ type Sim struct {
 	patterns int
 	words    int
 	threads  int
-	val      []bitvec.Vec // per variable id
-	dirty    []bool       // scratch for incremental resim
-	scratch  bitvec.Vec
-	touched  []int32 // ResimulateFrom scratch: dirtied nodes
-	changed  []int32 // ResimulateFrom scratch: the returned slice
+	lastMask uint64        // final-word mask of the pattern count
+	arena    *bitvec.Arena // backs every value vector; never reset
+	val      []bitvec.Vec  // per variable id
+	dirty    []bool        // scratch for incremental resim
+	touched  []int32       // ResimulateFrom scratch: dirtied nodes
+	changed  []int32       // ResimulateFrom scratch: the returned slice
 }
 
 // New builds a simulator, draws the input patterns, and runs a full
@@ -135,18 +136,20 @@ func New(g *aig.Graph, opt Options) *Sim {
 		patterns: patterns,
 		words:    words,
 		threads:  par.Workers(opt.Threads),
+		lastMask: bitvec.MaskWord(patterns),
+		arena:    bitvec.NewArena(words),
 		val:      make([]bitvec.Vec, g.NumVars()),
 		dirty:    make([]bool, g.NumVars()),
-		scratch:  bitvec.NewWords(words),
 	}
 	dist := opt.Dist
 	if dist == nil {
 		dist = Uniform{}
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
-	s.val[0] = bitvec.NewWords(words) // constant node: all zero
+	s.val[0] = s.arena.Alloc()
+	s.val[0].Clear() // constant node: all zero
 	for i, v := range g.PIs() {
-		s.val[v] = bitvec.NewWords(words)
+		s.val[v] = s.arena.Alloc()
 		dist.Fill(i, s.val[v], rng)
 		s.val[v].Mask(s.patterns)
 	}
@@ -200,7 +203,8 @@ func (s *Sim) ensure(v int32) {
 		s.dirty = gd
 	}
 	if s.val[v] == nil {
-		s.val[v] = bitvec.NewWords(s.words)
+		s.val[v] = s.arena.Alloc()
+		s.val[v].Clear() // arena rows hold garbage; new nodes must read 0
 	}
 }
 
@@ -289,10 +293,12 @@ func (s *Sim) ResimulateFrom(roots []int32) []int32 {
 			continue
 		}
 		s.ensure(v)
-		old := s.scratch
-		old.CopyFrom(s.val[v])
-		s.evalNode(v, 0, s.words)
-		if !old.Equal(s.val[v]) {
+		// Fused save–evaluate–compare: one pass over the words, no
+		// scratch vector, identical result to the unfused sequence.
+		f0, f1 := s.g.Fanins(v)
+		a, b := s.val[f0.Var()], s.val[f1.Var()]
+		m0, m1 := complMask(f0.IsCompl()), complMask(f1.IsCompl())
+		if s.val[v].AndMaybeNotDiff(a, b, m0, m1, s.lastMask) != 0 {
 			changed = append(changed, v)
 			for _, f := range s.g.Fanouts(v) {
 				setDirty(f)
