@@ -204,10 +204,19 @@ func (c *campaign) differential(g *aig.Graph, spec oracle.RunSpec) {
 		{"threads-all", func(s *oracle.RunSpec) { s.Threads = 0 }},
 	}
 	if spec.Flow == core.FlowDP || spec.Flow == core.FlowDPSA {
-		variants = append(variants, struct {
-			name string
-			mut  func(*oracle.RunSpec)
-		}{"no-cpm-cache", func(s *oracle.RunSpec) { s.NoCPMCache = true }})
+		variants = append(variants,
+			struct {
+				name string
+				mut  func(*oracle.RunSpec)
+			}{"no-cpm-cache", func(s *oracle.RunSpec) { s.NoCPMCache = true }},
+			// Warm cross-round phase-1 reuse must be bit-identical to cold
+			// rebuilds, down to the evaluation traces DPSA self-adaption
+			// feeds on; this is the campaign's differential check on the
+			// whole reuse layer (incremental cuts, CPM refresh, eval memo).
+			struct {
+				name string
+				mut  func(*oracle.RunSpec)
+			}{"cold-phase1", func(s *oracle.RunSpec) { s.NoWarmStart = true }})
 	}
 	for _, v := range variants {
 		vs := spec
@@ -269,6 +278,12 @@ func (c *campaign) wceCheck(g *aig.Graph, base oracle.RunSpec) {
 // several flow/metric combinations before giving up on the circuit.
 func (c *campaign) faultSweep(g *aig.Graph, base oracle.RunSpec, emit bool) {
 	specs := []oracle.RunSpec{base}
+	// SASIMI wire substitutions grow a node's fanout, which is what makes a
+	// skipped incremental cut repair observable (constant LACs only shrink
+	// fanout, leaving stale cuts score-equivalent).
+	sasimi := base
+	sasimi.SASIMI = true
+	specs = append(specs, sasimi)
 	for _, v := range []struct {
 		flow core.Flow
 		mk   metric.Kind

@@ -45,6 +45,7 @@ func main() {
 	maxIters := flag.Int("max-iters", 0, "cap on applied LACs (0 = unlimited)")
 	timeLimit := flag.Duration("time-limit", 0, "wall-clock budget; on expiry the best-so-far circuit is written (0 = unlimited)")
 	noCache := flag.Bool("no-cpm-cache", false, "disable the incremental CPM cache (A/B baseline)")
+	noWarm := flag.Bool("no-warm-start", false, "disable the cross-round phase-1 reuse (A/B baseline)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file (taken after the run)")
 	statsOut := flag.String("stats", "", "write run statistics (step times, work counters, MTrace, reuse rate) as JSON to this file")
@@ -179,8 +180,9 @@ func main() {
 		Patterns: *patterns, Seed: *seed, Threads: *threads,
 		UseConstLACs: true, UseSASIMILACs: *sasimi,
 		DepthLimit: *depth, MaxIters: *maxIters,
-		TimeLimit:  *timeLimit,
-		NoCPMCache: *noCache,
+		TimeLimit:   *timeLimit,
+		NoCPMCache:  *noCache,
+		NoWarmStart: *noWarm,
 	})
 	check(err)
 	signal.Stop(sigc)
@@ -216,6 +218,11 @@ func main() {
 	if res.Stats.CPMRowsReused+res.Stats.CPMRowsRecomputed > 0 {
 		fmt.Printf("        CPM rows: %d reused, %d recomputed (%.1f%% reuse)\n",
 			res.Stats.CPMRowsReused, res.Stats.CPMRowsRecomputed, 100*res.Stats.ReuseRate())
+	}
+	if res.Stats.WarmComprehensive > 0 {
+		fmt.Printf("        warm start: %d/%d comprehensive passes warm (%.1f%% phase-1 row reuse, %d memo hits)\n",
+			res.Stats.WarmComprehensive, res.Stats.Comprehensive,
+			100*res.Stats.Phase1ReuseRate(), res.Stats.EvalMemoHits)
 	}
 	if res.Stats.Pool.Gets > 0 {
 		fmt.Printf("        CPM pool: %d gets, %d reused (%.1f%% hit rate), high water %d\n",
@@ -283,6 +290,15 @@ type runStats struct {
 	CPMRowsRecomputed int64   `json:"cpm_rows_recomputed"`
 	ReuseRate         float64 `json:"reuse_rate"`
 
+	// Cross-round phase-1 reuse (dual-phase flows; zero with
+	// -no-warm-start or for flows without warm starts).
+	WarmComprehensive int     `json:"warm_comprehensive,omitempty"`
+	Phase1WarmTimeNS  int64   `json:"phase1_warm_time_ns,omitempty"`
+	Phase1ReuseRate   float64 `json:"phase1_reuse_rate,omitempty"`
+	CutUpdates        int     `json:"cut_updates_incremental,omitempty"`
+	EvalMemoHits      int64   `json:"eval_memo_hits,omitempty"`
+	SkippedWork       int64   `json:"skipped_work,omitempty"`
+
 	PoolGets    int64   `json:"pool_gets,omitempty"`
 	PoolReuses  int64   `json:"pool_reuses,omitempty"`
 	PoolHitRate float64 `json:"pool_hit_rate,omitempty"`
@@ -320,6 +336,13 @@ func writeStats(path string, flow dpals.Flow, m dpals.Metric, thr float64, res *
 		CPMRowsReused:     res.Stats.CPMRowsReused,
 		CPMRowsRecomputed: res.Stats.CPMRowsRecomputed,
 		ReuseRate:         res.Stats.ReuseRate(),
+
+		WarmComprehensive: res.Stats.WarmComprehensive,
+		Phase1WarmTimeNS:  res.Stats.Phase1WarmTime.Nanoseconds(),
+		Phase1ReuseRate:   res.Stats.Phase1ReuseRate(),
+		CutUpdates:        res.Stats.CutUpdates,
+		EvalMemoHits:      res.Stats.EvalMemoHits,
+		SkippedWork:       res.Stats.SkippedWork,
 
 		PoolGets:    res.Stats.Pool.Gets,
 		PoolReuses:  res.Stats.Pool.Reuses,

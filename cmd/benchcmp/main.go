@@ -14,6 +14,14 @@
 // use the relative threshold alone. Improvements beyond the same gates are
 // reported explicitly, so a PR that moves a number can cite the table.
 //
+// Modes may additionally carry the phase-1 reuse metrics: phase1_ns is
+// gated like ns_per_op (both gates), while phase1_reuse_rate and
+// cut_updates_incremental are deterministic floor metrics — LOWER is the
+// regression (reuse that stops happening), gated by the relative
+// threshold alone. All three are skipped when the old file reports them
+// as zero or omits them: an older baseline predating the schema, or a
+// mode where reuse is disabled by design ("rebuild"), gates nothing.
+//
 // Bogus inputs fail loudly rather than passing vacuously: a mode with a
 // zero (or negative) ns_per_op is rejected at load time — a real benchmark
 // cannot run in 0ns, so such a baseline would gate nothing — and a mode
@@ -46,6 +54,12 @@ type benchMode struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+
+	// Phase-1 reuse metrics (zero when absent from an older baseline or
+	// disabled in the mode).
+	Phase1Ns        float64 `json:"phase1_ns"`
+	Phase1ReuseRate float64 `json:"phase1_reuse_rate"`
+	CutUpdates      float64 `json:"cut_updates_incremental"`
 }
 
 // row is one metric comparison of the report table.
@@ -140,8 +154,31 @@ func compare(oldB, newB *benchFile, threshold, minDeltaNs float64) (rows []row, 
 			countRow(name, "allocs/op", o.AllocsPerOp, n.AllocsPerOp, threshold),
 			countRow(name, "bytes/op", o.BytesPerOp, n.BytesPerOp, threshold),
 		)
+		// Phase-1 reuse metrics gate only against a baseline that has them:
+		// a zero old value means an older schema or a mode with reuse
+		// disabled by design, and comparing against it would flag noise.
+		if o.Phase1Ns > 0 {
+			p1Regressed := n.Phase1Ns > o.Phase1Ns*(1+threshold) && n.Phase1Ns-o.Phase1Ns > minDeltaNs
+			p1Improved := n.Phase1Ns < o.Phase1Ns*(1-threshold) && o.Phase1Ns-n.Phase1Ns > minDeltaNs
+			rows = append(rows, row{name, "phase1 ns", o.Phase1Ns, n.Phase1Ns, p1Regressed, p1Improved})
+		}
+		if o.Phase1ReuseRate > 0 {
+			// As a percentage so the %.0f report column stays readable.
+			rows = append(rows, floorRow(name, "p1 reuse %", 100*o.Phase1ReuseRate, 100*n.Phase1ReuseRate, threshold))
+		}
+		if o.CutUpdates > 0 {
+			rows = append(rows, floorRow(name, "cut updates", o.CutUpdates, n.CutUpdates, threshold))
+		}
 	}
 	return rows, vanished, added
+}
+
+// floorRow compares a deterministic metric where LOWER is the regression:
+// reuse rates and incremental-update counts dropping means the reuse
+// machinery stopped firing, even though a conventional count gate would
+// call the smaller number an improvement.
+func floorRow(mode, metric string, old, new_, threshold float64) row {
+	return row{mode, metric, old, new_, new_ < old*(1-threshold), new_ > old*(1+threshold)}
 }
 
 // countRow compares a deterministic count metric. A zero old value is a
@@ -199,6 +236,9 @@ func load(path string) (*benchFile, error) {
 		}
 		if m.AllocsPerOp < 0 || m.BytesPerOp < 0 {
 			return nil, fmt.Errorf("%s: mode %q has negative counts — corrupt baseline", path, name)
+		}
+		if m.Phase1Ns < 0 || m.Phase1ReuseRate < 0 || m.CutUpdates < 0 {
+			return nil, fmt.Errorf("%s: mode %q has negative phase-1 metrics — corrupt baseline", path, name)
 		}
 	}
 	return &b, nil

@@ -170,6 +170,89 @@ func TestVanishedAndAddedModes(t *testing.T) {
 	}
 }
 
+// TestPhase1MetricsGated: the phase-1 reuse metrics gate in both
+// directions — time up is a regression, while reuse rate or incremental
+// cut updates DOWN is the regression (the reuse machinery stopped firing).
+func TestPhase1MetricsGated(t *testing.T) {
+	base := benchMode{
+		NsPerOp: 7e8, AllocsPerOp: 42000, BytesPerOp: 2.3e7,
+		Phase1Ns: 6.7e8, Phase1ReuseRate: 0.72, CutUpdates: 24,
+	}
+	old := &benchFile{Modes: map[string]benchMode{"cache": base}}
+
+	self, _, _ := compare(old, old, 0.15, 5e6)
+	if n := regressions(self); n != 0 {
+		t.Fatalf("self-comparison with phase-1 metrics: %d regressions", n)
+	}
+	if find(self, "cache", "phase1 ns") == nil ||
+		find(self, "cache", "p1 reuse %") == nil ||
+		find(self, "cache", "cut updates") == nil {
+		t.Fatal("phase-1 metric rows missing from the comparison")
+	}
+
+	slow := base
+	slow.Phase1Ns *= 2
+	rows, _, _ := compare(old, &benchFile{Modes: map[string]benchMode{"cache": slow}}, 0.15, 5e6)
+	if r := find(rows, "cache", "phase1 ns"); !r.regressed {
+		t.Errorf("2x phase1_ns not flagged: %+v", r)
+	}
+
+	lost := base
+	lost.Phase1ReuseRate = 0.3 // warm start half-broken
+	lost.CutUpdates = 2        // incremental repair stopped firing
+	rows, _, _ = compare(old, &benchFile{Modes: map[string]benchMode{"cache": lost}}, 0.15, 5e6)
+	if r := find(rows, "cache", "p1 reuse %"); !r.regressed {
+		t.Errorf("reuse rate 0.72 -> 0.3 not flagged: %+v", r)
+	}
+	if r := find(rows, "cache", "cut updates"); !r.regressed {
+		t.Errorf("cut updates 24 -> 2 not flagged: %+v", r)
+	}
+
+	more := base
+	more.Phase1ReuseRate = 0.9
+	rows, _, _ = compare(old, &benchFile{Modes: map[string]benchMode{"cache": more}}, 0.15, 5e6)
+	if r := find(rows, "cache", "p1 reuse %"); r.regressed || !r.improved {
+		t.Errorf("reuse rate 0.72 -> 0.9 must improve, not regress: %+v", r)
+	}
+}
+
+// TestPhase1MetricsSkipWithoutBaseline: an old file predating the phase-1
+// schema (or a mode with reuse disabled by design) must not gate the new
+// metrics — growth of coverage is not a regression.
+func TestPhase1MetricsSkipWithoutBaseline(t *testing.T) {
+	old := &benchFile{Modes: map[string]benchMode{
+		"rebuild": {NsPerOp: 8e8, AllocsPerOp: 120000, BytesPerOp: 8e7},
+	}}
+	newB := &benchFile{Modes: map[string]benchMode{
+		"rebuild": {NsPerOp: 8e8, AllocsPerOp: 120000, BytesPerOp: 8e7,
+			Phase1Ns: 8.2e8, Phase1ReuseRate: 0, CutUpdates: 24},
+	}}
+	rows, _, _ := compare(old, newB, 0.15, 5e6)
+	if n := regressions(rows); n != 0 {
+		t.Fatalf("new-only phase-1 metrics flagged: %d regressions", n)
+	}
+	for _, metric := range []string{"phase1 ns", "p1 reuse %", "cut updates"} {
+		if r := find(rows, "rebuild", metric); r != nil {
+			t.Errorf("zero-baseline metric %q produced a gated row: %+v", metric, r)
+		}
+	}
+}
+
+// TestPhase1NsNoiseGate: phase1_ns honours the same absolute min-delta as
+// ns/op — a big relative jump that is absolutely tiny is noise.
+func TestPhase1NsNoiseGate(t *testing.T) {
+	old := &benchFile{Modes: map[string]benchMode{
+		"m": {NsPerOp: 1e8, Phase1Ns: 1e6},
+	}}
+	newB := &benchFile{Modes: map[string]benchMode{
+		"m": {NsPerOp: 1e8, Phase1Ns: 2e6}, // +100% but +1ms only
+	}}
+	rows, _, _ := compare(old, newB, 0.15, 5e6)
+	if r := find(rows, "m", "phase1 ns"); r.regressed {
+		t.Errorf("+1ms phase-1 jump flagged: %+v", r)
+	}
+}
+
 func TestRel(t *testing.T) {
 	if got := rel(100, 125); got != 0.25 {
 		t.Errorf("rel(100,125) = %v, want 0.25", got)
@@ -207,6 +290,7 @@ func TestLoadRejectsBogusBaselines(t *testing.T) {
 		{"zero-ns", `{"modes":{"cache":{"ns_per_op":0,"allocs_per_op":5}}}`, "zero baseline"},
 		{"negative-ns", `{"modes":{"cache":{"ns_per_op":-1}}}`, "zero baseline"},
 		{"negative-allocs", `{"modes":{"cache":{"ns_per_op":1e6,"allocs_per_op":-2}}}`, "negative counts"},
+		{"negative-phase1", `{"modes":{"cache":{"ns_per_op":1e6,"phase1_ns":-5}}}`, "negative phase-1 metrics"},
 		{"not-json", `garbage`, "invalid character"},
 	}
 	for _, c := range cases {

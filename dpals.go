@@ -299,6 +299,13 @@ type Options struct {
 	// iteration. Results are bit-identical either way; for A/B
 	// benchmarking only.
 	NoCPMCache bool
+
+	// NoWarmStart disables the cross-round phase-1 reuse of the dual-phase
+	// flows: every comprehensive analysis rebuilds the cut set, the CPM and
+	// the LAC evaluations from scratch instead of carrying the
+	// incrementally maintained state across round boundaries. Results are
+	// bit-identical either way; for A/B benchmarking only.
+	NoWarmStart bool
 }
 
 // StopReason tells why a synthesis run ended. Runs stopped by a context
@@ -334,9 +341,11 @@ type Stats struct {
 	// phases, derived from the engine's span tree (the same durations a
 	// -trace export shows): Phase1Time covers every comprehensive analysis,
 	// Phase2Time the incremental phase-2 loops of the dual-phase flows,
-	// applies included.
-	Phase1Time time.Duration
-	Phase2Time time.Duration
+	// applies included. Phase1WarmTime is the slice of Phase1Time spent in
+	// warm-started comprehensive passes (see WarmComprehensive).
+	Phase1Time     time.Duration
+	Phase2Time     time.Duration
+	Phase1WarmTime time.Duration
 
 	// Deterministic per-step work estimates in bit-vector word operations
 	// — the profile DP-SA's self-adaption tunes from. Unlike the *Time
@@ -350,6 +359,27 @@ type Stats struct {
 	// of the run. Zero when the cache is disabled or unused by the flow.
 	CPMRowsReused     int64
 	CPMRowsRecomputed int64
+
+	// Cross-round warm-start accounting (dual-phase flows, zero with
+	// Options.NoWarmStart): WarmComprehensive counts the comprehensive
+	// passes that reused the incrementally maintained analysis state
+	// instead of rebuilding cold; Phase1RowsReused / Phase1RowsRecomputed
+	// split the CPM rows of those phase-1 analyses; SkippedWork is the
+	// total charged-but-not-performed work (word operations) across cuts,
+	// CPM and evaluation — it is included in CutWork/CPMWork/EvalWork so
+	// those stay identical to a cold run; EvalMemoHits counts target
+	// evaluations served from the cross-round memo.
+	WarmComprehensive    int
+	Phase1RowsReused     int64
+	Phase1RowsRecomputed int64
+	SkippedWork          int64
+	EvalMemoHits         int64
+
+	// CutUpdates counts the incremental cut-set repairs performed after
+	// applied LACs (dual-phase flows): each applied LAC in those flows
+	// patches the affected cut cones in place instead of rebuilding the
+	// set, and this is how often that happened. Deterministic.
+	CutUpdates int
 
 	// Pool is the final snapshot of the CPM cache's bit-vector free list
 	// (dual-phase flows with the cache enabled; zero otherwise):
@@ -373,6 +403,16 @@ func (s Stats) ReuseRate() float64 {
 		return 0
 	}
 	return float64(s.CPMRowsReused) / float64(total)
+}
+
+// Phase1ReuseRate returns the fraction of phase-1 CPM rows served from the
+// cross-round warm start (0 when no comprehensive pass used the cache).
+func (s Stats) Phase1ReuseRate() float64 {
+	total := s.Phase1RowsReused + s.Phase1RowsRecomputed
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Phase1RowsReused) / float64(total)
 }
 
 // Result of Approximate.
@@ -422,6 +462,7 @@ func ApproximateContext(ctx context.Context, c *Circuit, opt Options) (*Result, 
 	iopt.MaxIters = opt.MaxIters
 	iopt.TimeLimit = opt.TimeLimit
 	iopt.NoCPMCache = opt.NoCPMCache
+	iopt.NoWarmStart = opt.NoWarmStart
 	iopt.LACs = lac.Options{
 		Constants:  opt.UseConstLACs,
 		SASIMI:     opt.UseSASIMILACs,
@@ -448,24 +489,31 @@ func ApproximateContext(ctx context.Context, c *Circuit, opt Options) (*Result, 
 		Error:    res.Error,
 		ADPRatio: techmap.ADPRatio(ma, mo),
 		Stats: Stats{
-			Applied:           res.Stats.Applied,
-			Comprehensive:     res.Stats.Phase1,
-			Incremental:       res.Stats.Phase2,
-			Rollbacks:         res.Stats.Rollbacks,
-			Runtime:           res.Stats.Runtime,
-			CutTime:           res.Stats.Step.Cuts,
-			CPMTime:           res.Stats.Step.CPM,
-			EvalTime:          res.Stats.Step.Eval,
-			Phase1Time:        res.Stats.PhaseTime.Phase1,
-			Phase2Time:        res.Stats.PhaseTime.Phase2,
-			Pool:              res.Stats.Pool,
-			CutWork:           res.Stats.Work.Cuts,
-			CPMWork:           res.Stats.Work.CPM,
-			EvalWork:          res.Stats.Work.Eval,
-			CPMRowsReused:     res.Stats.Work.CPMRowsReused,
-			CPMRowsRecomputed: res.Stats.Work.CPMRowsRecomputed,
-			MTrace:            res.Stats.MTrace,
-			StopReason:        res.Stats.StopReason,
+			Applied:              res.Stats.Applied,
+			Comprehensive:        res.Stats.Phase1,
+			Incremental:          res.Stats.Phase2,
+			Rollbacks:            res.Stats.Rollbacks,
+			Runtime:              res.Stats.Runtime,
+			CutTime:              res.Stats.Step.Cuts,
+			CPMTime:              res.Stats.Step.CPM,
+			EvalTime:             res.Stats.Step.Eval,
+			Phase1Time:           res.Stats.PhaseTime.Phase1,
+			Phase2Time:           res.Stats.PhaseTime.Phase2,
+			Phase1WarmTime:       res.Stats.PhaseTime.Phase1Warm,
+			Pool:                 res.Stats.Pool,
+			CutWork:              res.Stats.Work.Cuts,
+			CPMWork:              res.Stats.Work.CPM,
+			EvalWork:             res.Stats.Work.Eval,
+			CPMRowsReused:        res.Stats.Work.CPMRowsReused,
+			CPMRowsRecomputed:    res.Stats.Work.CPMRowsRecomputed,
+			WarmComprehensive:    res.Stats.Phase1Warm,
+			Phase1RowsReused:     res.Stats.Work.CPMRowsReusedPhase1,
+			Phase1RowsRecomputed: res.Stats.Work.CPMRowsRecomputedPhase1,
+			SkippedWork:          res.Stats.Work.CutsSkipped + res.Stats.Work.CPMSkipped + res.Stats.Work.EvalSkipped,
+			EvalMemoHits:         res.Stats.Work.EvalMemoHits,
+			CutUpdates:           res.Stats.CutUpdates,
+			MTrace:               res.Stats.MTrace,
+			StopReason:           res.Stats.StopReason,
 		},
 	}
 	if mo.Area > 0 {

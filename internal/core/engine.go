@@ -163,6 +163,7 @@ type engine struct {
 	cuts  *cut.Set   // nil for VECBEE flows
 	cache *cpm.Cache // persistent incremental CPM (dual-phase flows; nil when disabled)
 	gen   *lac.Generator
+	memo  *lac.Memo // cross-round evaluation memo (dual-phase flows; nil when disabled)
 	exact []bitvec.Vec
 	stats Stats
 
@@ -204,9 +205,12 @@ func (e *engine) sampleMetrics() {
 	m.Gauge("ands").Set(float64(e.g.NumAnds()))
 	m.Gauge("applied").Set(float64(e.stats.Applied))
 	m.Gauge("phase1_analyses").Set(float64(e.stats.Phase1))
+	m.Gauge("phase1_warm").Set(float64(e.stats.Phase1Warm))
+	m.Gauge("phase1_reuse_rate").Set(e.stats.Work.Phase1ReuseRate())
 	m.Gauge("phase2_iters").Set(float64(e.stats.Phase2))
 	m.Gauge("cpm_rows_reused").Set(float64(e.stats.Work.CPMRowsReused))
 	m.Gauge("cpm_rows_recomputed").Set(float64(e.stats.Work.CPMRowsRecomputed))
+	m.Gauge("eval_memo_hits").Set(float64(e.stats.Work.EvalMemoHits))
 	if e.cache != nil {
 		ps := e.cache.Pool().Stats()
 		m.Gauge("pool_gets").Set(float64(ps.Gets))
@@ -332,7 +336,19 @@ func (e *engine) apply(l lac.LAC) aig.ChangeSet {
 	if e.cuts != nil && e.incCuts {
 		cu := sp.Child("cuts.update")
 		w0 := e.cuts.Work()
-		sv := e.cuts.UpdateAfter(cs)
+		var sv []int32
+		if e.fire(fault.SkipCutWarmUpdate) {
+			// Seeded warm-path bug: the incremental repair is skipped but
+			// the set still claims to be in sync, so later analyses (and
+			// the next round's warm start) trust stale cuts. Invalidate
+			// below still sees the full fanin closure — sv is subsumed by
+			// the TFI cones of cs.FanoutChanged — so the corruption is
+			// isolated to the cut structure itself.
+			e.cuts.ForceSync()
+		} else {
+			sv = e.cuts.UpdateAfter(cs)
+			e.stats.CutUpdates++
+		}
 		cu.End()
 		e.stats.Step.Cuts += cu.Duration()
 		e.stats.Work.Cuts += e.cuts.Work() - w0
@@ -341,6 +357,11 @@ func (e *engine) apply(l lac.LAC) aig.ChangeSet {
 		}
 	}
 	e.gen.Reindex()
+	if e.memo != nil {
+		// Any applied LAC moves the global metric state every evaluation is
+		// scored against: every memoized evaluation is stale now.
+		e.memo.Invalidate()
+	}
 	e.stats.Applied++
 	e.iter++
 	sp.SetInt("target", int64(l.Target))
@@ -421,6 +442,21 @@ func (e *engine) restore(sn snapshot) {
 	}
 	e.cuts = nil  // next comprehensive pass rebuilds the cuts
 	e.cache = nil // the cache is bound to the replaced graph/simulator
+	if e.memo != nil {
+		e.memo.Invalidate() // evaluations reference the replaced state
+	}
 	e.gen = lac.NewGenerator(e.g, e.s, e.opt.LACs)
 	e.stats.Rollbacks++
+}
+
+// warmStart reports whether the next comprehensive pass may reuse the
+// incrementally-maintained analysis state instead of rebuilding cold: the
+// dual-phase flow repairs the cuts after every apply (incCuts), the set
+// exists and is in sync with the graph — the §III-B cut preservation
+// condition held through every change since the last pass — and the A/B
+// switch did not force cold passes. A first round (no cuts yet), a
+// rollback (cuts dropped), or a cancelled build (set never marked synced)
+// all fall back to the cold rebuild.
+func (e *engine) warmStart() bool {
+	return e.incCuts && !e.opt.NoWarmStart && e.cuts != nil && e.cuts.InSync()
 }

@@ -178,10 +178,10 @@ func TestSpanTreeMatchesStats(t *testing.T) {
 
 			// Exact, not approximate: Stats.Step and Stats.PhaseTime are
 			// accumulated from these same span durations.
-			if got, want := sumSpans(spans, "cuts", "cuts.update"), res.Stats.Step.Cuts; got != want {
+			if got, want := sumSpans(spans, "cuts", "cuts.update", "cuts.warm"), res.Stats.Step.Cuts; got != want {
 				t.Errorf("cut spans sum %v, Stats.Step.Cuts %v", got, want)
 			}
-			if got, want := sumSpans(spans, "cpm"), res.Stats.Step.CPM; got != want {
+			if got, want := sumSpans(spans, "cpm", "cpm.warm"), res.Stats.Step.CPM; got != want {
 				t.Errorf("cpm spans sum %v, Stats.Step.CPM %v", got, want)
 			}
 			if got, want := sumSpans(spans, "eval"), res.Stats.Step.Eval; got != want {

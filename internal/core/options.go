@@ -117,6 +117,17 @@ type Options struct {
 	// way; the switch exists for A/B benchmarking and differential tests.
 	NoCPMCache bool
 
+	// NoWarmStart disables the cross-round warm start of the comprehensive
+	// analysis in the dual-phase flows: every phase-1 pass rebuilds the
+	// disjoint cuts from scratch, revalidates every CPM row, and
+	// re-evaluates every target (the pre-warm-start behaviour). Results —
+	// including the deterministic Stats.Work profile DP-SA tunes from, and
+	// with it the whole self-adaption trajectory — are bit-identical either
+	// way, because warm passes charge the cold-equivalent work (see
+	// StepWork); the switch exists for A/B benchmarking and differential
+	// tests.
+	NoWarmStart bool
+
 	// OnIteration, when non-nil, observes every applied LAC: the 1-based
 	// iteration number, the chosen candidate, and the full sorted
 	// evaluation of the iteration (phase-2 iterations only see the
@@ -193,9 +204,15 @@ func (t StepTimes) Total() time.Duration { return t.Cuts + t.CPM + t.Eval }
 // incremental phase-2 loops of the dual-phase flows, applies included.
 // Because both the exported trace and these fields read the same span
 // durations, the per-phase spans of a trace sum exactly to PhaseTimes.
+// Phase1Warm is the slice of Phase1 spent in warm-started passes (rounds
+// that reused the previous round's cuts and CPM rows; see
+// Stats.Phase1Warm) — the step-function drop of the cross-round reuse
+// shows as Phase1Warm per pass being far below (Phase1−Phase1Warm) per
+// cold pass.
 type PhaseTimes struct {
-	Phase1 time.Duration
-	Phase2 time.Duration
+	Phase1     time.Duration
+	Phase2     time.Duration
+	Phase1Warm time.Duration
 }
 
 // Total returns the summed phase time.
@@ -215,13 +232,43 @@ type StepWork struct {
 
 	// CPM cache row accounting (dual-phase flows with the incremental
 	// cache): how many of the rows needed by the analyses were served from
-	// the cache versus recomputed. Comprehensive passes recompute every
-	// row; phase-2 iterations reuse whatever the applied LACs did not
-	// invalidate. The reuse rate is CPMRowsReused / (CPMRowsReused +
-	// CPMRowsRecomputed). Deterministic like the work counters; not part
-	// of Total.
+	// the cache versus recomputed. Cold comprehensive passes recompute
+	// every row; warm passes and phase-2 iterations reuse whatever the
+	// applied LACs did not invalidate. The reuse rate is CPMRowsReused /
+	// (CPMRowsReused + CPMRowsRecomputed). Deterministic like the work
+	// counters; not part of Total.
 	CPMRowsReused     int64
 	CPMRowsRecomputed int64
+
+	// Cross-round warm-start accounting (dual-phase flows unless
+	// Options.NoWarmStart). Warm comprehensive passes charge Cuts, CPM and
+	// Eval with the cold-equivalent work — reused cuts, rows and
+	// evaluations charge the cost recorded at their last computation, which
+	// unchanged inputs make exactly the cost of recomputing them — so the
+	// profile DP-SA tunes from, and with it the whole trajectory, is
+	// bit-identical between warm and cold runs. The *Skipped fields report
+	// how much of that charged work was served from the previous round
+	// instead of performed (0 in cold runs); EvalMemoHits counts the
+	// targets whose generation+evaluation was reused whole; the Phase1 row
+	// counters are the comprehensive-pass slice of the row accounting
+	// above, from which the phase-1 reuse rate is derived.
+	CutsSkipped             int64
+	CPMSkipped              int64
+	EvalSkipped             int64
+	EvalMemoHits            int64
+	CPMRowsReusedPhase1     int64
+	CPMRowsRecomputedPhase1 int64
+}
+
+// Phase1ReuseRate returns the fraction of phase-1 CPM rows served from the
+// previous round by warm-started comprehensive passes (0 when no phase-1
+// rows were accounted, e.g. cold-only runs without the cache).
+func (w StepWork) Phase1ReuseRate() float64 {
+	total := w.CPMRowsReusedPhase1 + w.CPMRowsRecomputedPhase1
+	if total == 0 {
+		return 0
+	}
+	return float64(w.CPMRowsReusedPhase1) / float64(total)
 }
 
 // Total returns the summed step work.
@@ -231,7 +278,9 @@ func (w StepWork) Total() int64 { return w.Cuts + w.CPM + w.Eval }
 type Stats struct {
 	Applied     int // LACs applied in total
 	Phase1      int // comprehensive iterations (= dual-phase rounds for DP)
+	Phase1Warm  int // comprehensive passes warm-started from the previous round
 	Phase2      int // incremental iterations
+	CutUpdates  int // incremental cut repairs performed after applies
 	Rollbacks   int // AccALS/VECBEE reverted iterations
 	NodesBefore int
 	NodesAfter  int

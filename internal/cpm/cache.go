@@ -15,13 +15,19 @@ import (
 // in, how many rows the requested closure needed, how many of those were
 // served from the cache versus recomputed, and the deterministic work
 // estimate of the recomputation (the counterpart of Result.Work for a
-// from-scratch build). Reused + Recomputed == Needed.
+// from-scratch build). Reused + Recomputed == Needed. ReusedWork is the
+// recompute work the reused rows would have cost: row validity implies
+// unchanged construction inputs, so the cost recorded at the row's last
+// recompute is exactly what recomputing it now would charge — Work +
+// ReusedWork therefore reproduces the deterministic work estimate of a
+// from-scratch build of the same closure.
 type Update struct {
 	Res        *Result
 	Needed     int
 	Reused     int
 	Recomputed int
 	Work       int64
+	ReusedWork int64
 }
 
 // Cache is a persistent incremental CPM: it retains the rows of the last
@@ -75,8 +81,9 @@ type Cache struct {
 	res  *Result
 	pool *bitvec.Pool
 
-	valid []bool  // per var: row is up to date
-	pos   []int32 // topo position per var, refreshed per build
+	valid   []bool  // per var: row is up to date
+	pos     []int32 // topo position per var, refreshed per build
+	rowWork []int64 // per var: work of the row's last recompute (Update.ReusedWork)
 
 	rss     []*regionSimulator // persistent per-worker scratch
 	cutSets []map[int32]bool
@@ -101,12 +108,13 @@ func NewCache(g *aig.Graph, s *sim.Sim) *Cache {
 		// Pool misses carve rows from a slab arena instead of allocating
 		// individually; the arena lives (and is never Reset) as long as the
 		// cache, so recycled and carved rows are interchangeable.
-		pool:  bitvec.NewArenaPool(s.Words(), bitvec.NewArena(s.Words())),
-		valid: make([]bool, n),
-		pos:   make([]int32, n),
-		mark:  make([]uint32, n),
-		lvl:   make([]int32, n),
-		inSet: make([]bool, n),
+		pool:    bitvec.NewArenaPool(s.Words(), bitvec.NewArena(s.Words())),
+		valid:   make([]bool, n),
+		pos:     make([]int32, n),
+		rowWork: make([]int64, n),
+		mark:    make([]uint32, n),
+		lvl:     make([]int32, n),
+		inSet:   make([]bool, n),
 	}
 }
 
@@ -260,6 +268,33 @@ func (c *Cache) Invalidate(cs aig.ChangeSet, changed, cutsRecomputed []int32) {
 	c.queue = q[:0]
 }
 
+// Refresh is RefreshCtx without cancellation.
+func (c *Cache) Refresh(cuts *cut.Set, targets []int32, threads int) Update {
+	upd, _ := c.RefreshCtx(context.Background(), cuts, targets, threads)
+	return upd
+}
+
+// RefreshCtx is the warm counterpart of RebuildCtx for the cross-round
+// reuse of the dual-phase framework: it ensures valid rows for every node
+// in targets — the live AND nodes of the graph — recomputing only the rows
+// invalidated since the previous build and serving everything else from
+// the cache, so a comprehensive pass becomes "recompute stale rows"
+// instead of "revalidate everything". The produced rows are bit-identical
+// to RebuildCtx over the same cut set (PR 2's cache invariant, applied at
+// round granularity), and Update.Work + Update.ReusedWork reproduces the
+// cold build's deterministic work estimate.
+//
+// The warm path requires the same incrementally-maintained cut set the
+// cached rows were built against; handed a different (rebuilt) set it
+// falls back to a full RebuildCtx, because row validity is only meaningful
+// relative to the cuts the rows were constructed with.
+func (c *Cache) RefreshCtx(ctx context.Context, cuts *cut.Set, targets []int32, threads int) (Update, error) {
+	if cuts != c.cuts {
+		return c.RebuildCtx(ctx, cuts, threads)
+	}
+	return c.RowsCtx(ctx, targets, threads)
+}
+
 // Rows ensures valid rows for the disjoint-cut closure of targets (§III-C
 // N(S_cand)) and returns the shared Result plus reuse accounting. Only
 // stale rows of the closure are recomputed; everything else is served from
@@ -297,9 +332,12 @@ func (c *Cache) RowsCtx(ctx context.Context, targets []int32, threads int) (Upda
 		}
 	}
 	proc := c.recompute[:0]
+	var reusedWork int64
 	for _, v := range need {
 		if !c.valid[v] {
 			proc = append(proc, v)
+		} else {
+			reusedWork += c.rowWork[v]
 		}
 	}
 	err := c.runWaves(ctx, proc, threads)
@@ -309,6 +347,7 @@ func (c *Cache) RowsCtx(ctx context.Context, targets []int32, threads int) (Upda
 		Reused:     len(need) - len(proc),
 		Recomputed: len(proc),
 		Work:       c.res.Work - workBefore,
+		ReusedWork: reusedWork,
 	}
 	c.queue = need[:0]
 	c.recompute = proc[:0]
@@ -353,7 +392,7 @@ func (c *Cache) runWaves(ctx context.Context, proc []int32, threads int) error {
 	for _, v := range proc {
 		waves[c.lvl[v]] = append(waves[c.lvl[v]], v)
 	}
-	b := &disjointBuilder{g: c.g, s: c.s, cuts: c.cuts, res: c.res, pool: c.pool}
+	b := &disjointBuilder{g: c.g, s: c.s, cuts: c.cuts, res: c.res, pool: c.pool, rowWork: c.rowWork}
 	workers := par.ScratchSlots(threads, len(proc))
 	rss, cutSets := c.simulators(workers)
 	var err error

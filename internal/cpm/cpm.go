@@ -291,14 +291,15 @@ func (rs *regionSimulator) diffAt(v int32, dst bitvec.Vec) {
 // written by exactly one worker and read only after its dependency wave
 // completed) and the atomic reference counts.
 type disjointBuilder struct {
-	g     *aig.Graph
-	s     *sim.Sim
-	cuts  *cut.Set
-	res   *Result
-	keep  []bool
-	refs  []int32       // atomic: still-unprocessed consumers per row; nil: keep every row
-	pool  *bitvec.Pool  // diff-vector allocator; nil: fall through to arena
-	arena *bitvec.Arena // per-build slab backing when unpooled; nil: plain allocation
+	g       *aig.Graph
+	s       *sim.Sim
+	cuts    *cut.Set
+	res     *Result
+	keep    []bool
+	refs    []int32       // atomic: still-unprocessed consumers per row; nil: keep every row
+	pool    *bitvec.Pool  // diff-vector allocator; nil: fall through to arena
+	arena   *bitvec.Arena // per-build slab backing when unpooled; nil: plain allocation
+	rowWork []int64       // per var: work of the node's row, recorded when non-nil (cache mode)
 }
 
 // newVec returns a zero-or-garbage diff vector; every caller fully
@@ -328,6 +329,9 @@ func (b *disjointBuilder) release(v int32) {
 func (b *disjointBuilder) processNode(rs *regionSimulator, cutSet map[int32]bool, v int32) {
 	elems := b.cuts.Cut(v)
 	if len(elems) == 0 {
+		if b.rowWork != nil {
+			b.rowWork[v] = 0
+		}
 		return // reaches no PO: a flip can never be observed
 	}
 	// Flip-simulate the region bounded by the node cut elements. Sink
@@ -401,6 +405,9 @@ func (b *disjointBuilder) processNode(rs *regionSimulator, cutSet map[int32]bool
 	// means the row is needed by nobody (and was not requested).
 	if b.refs != nil && atomic.LoadInt32(&b.refs[v]) == 0 && !b.keep[v] {
 		b.release(v)
+	}
+	if b.rowWork != nil {
+		b.rowWork[v] = w // single writer per node, like the row itself
 	}
 	atomic.AddInt64(&b.res.Work, w)
 }

@@ -47,6 +47,14 @@ type Set struct {
 	reach []bitvec.Vec // per var: POs reachable; nil when not computed
 	cuts  [][]int32    // per var: disjoint cut elements
 
+	// Sync tracking for the cross-round warm start: the set is in sync
+	// with the graph iff every structural change since the last full build
+	// was repaired by UpdateAfter. synced is recorded alongside the graph
+	// version after an uncancelled build and after every repair; any
+	// unrepaired graph edit bumps the version and breaks the match.
+	synced      bool
+	syncVersion uint64
+
 	// scratch
 	tmp        bitvec.Vec
 	pos        []int32       // UpdateAfter scratch: topo position per var (-1: not live)
@@ -56,7 +64,8 @@ type Set struct {
 	// Stats of the last update.
 	LastRecomputed int
 
-	work int64 // atomic: cumulated work estimate in bitset word operations
+	work     int64   // atomic: cumulated work estimate in bitset word operations
+	nodeWork []int64 // per var: work of the node's last recompute (see FullBuildWork)
 }
 
 // Work returns the cumulated deterministic work estimate of all cut
@@ -64,6 +73,46 @@ type Set struct {
 // time it is identical between runs regardless of thread count, machine, or
 // load; DP-SA's self-adaption profiles the analysis steps with it.
 func (s *Set) Work() int64 { return atomic.LoadInt64(&s.work) }
+
+// InSync reports whether the set reflects the graph's current structure:
+// true after an uncancelled full build or an UpdateAfter repair, false once
+// the graph changed without a matching repair. A comprehensive pass may
+// warm-start from an in-sync set instead of rebuilding; an out-of-sync set
+// must be rebuilt (the correctness fallback when the incremental repair
+// chain was broken, e.g. by a rollback or a cancelled build).
+func (s *Set) InSync() bool { return s.synced && s.g.Version() == s.syncVersion }
+
+// markSynced records that the set matches the graph's current structure.
+func (s *Set) markSynced() {
+	s.synced = true
+	s.syncVersion = s.g.Version()
+}
+
+// ForceSync marks the set as in sync without repairing it. This is a fault
+// injection hook (internal/fault's skip-cut-warm-update): skipping an
+// UpdateAfter would normally break the version match and make the next
+// warm start fall back to a cold rebuild, masking the seeded bug — forcing
+// the sync marker keeps the stale cuts trusted, which is exactly the bug
+// class the differential campaign must detect. Never called in production.
+func (s *Set) ForceSync() { s.markSynced() }
+
+// FullBuildWork returns the deterministic work estimate a from-scratch
+// build of the current graph's cuts would cost, computed as the sum of the
+// recorded per-node recompute costs over the live AND nodes. For an
+// in-sync set this equals NewSet's work exactly: a node untouched since
+// its last recompute has unchanged successors (else it would lie in some
+// repaired S_v cone), so recomputing it would repeat the recorded work.
+// Warm-started passes charge this figure to the Stats.Work profile so the
+// DP-SA self-adaption trajectory is bit-identical to a cold run's.
+func (s *Set) FullBuildWork() int64 {
+	var w int64
+	for _, v := range s.g.Topo() {
+		if s.g.IsAnd(v) {
+			w += s.nodeWork[v]
+		}
+	}
+	return w
+}
 
 // NewSet computes the disjoint cuts of all nodes of g. threads follows the
 // pipeline-wide semantics of package par (≤0: all CPUs, 1: serial); the
@@ -98,6 +147,9 @@ func NewSetCtx(ctx context.Context, g *aig.Graph, threads int) (*Set, error) {
 		}
 		sc := s.scratchFor(1)[0]
 		err := par.ForCtx(ctx, 1, len(rev), func(_, i int) { s.recompute(sc, rev[i]) })
+		if err == nil {
+			s.markSynced()
+		}
 		return s, err
 	}
 	// recompute(v) only reads state of nodes in v's transitive fanout and
@@ -111,6 +163,7 @@ func NewSetCtx(ctx context.Context, g *aig.Graph, threads int) (*Set, error) {
 			return s, err
 		}
 	}
+	s.markSynced()
 	return s, nil
 }
 
@@ -123,6 +176,9 @@ func (s *Set) grow() {
 		c := make([][]int32, n)
 		copy(c, s.cuts)
 		s.cuts = c
+		w := make([]int64, n)
+		copy(w, s.nodeWork)
+		s.nodeWork = w
 	}
 }
 
@@ -324,6 +380,7 @@ func (s *Set) recompute(sc *cutScratch, v int32) {
 	}
 	sc.elems = elems[:0]
 	s.cuts[v] = append(s.cuts[v][:0], elems...)
+	s.nodeWork[v] = w // single writer per node, like cuts[v]
 	atomic.AddInt64(&s.work, w)
 }
 
@@ -373,6 +430,7 @@ func (s *Set) UpdateAfter(cs aig.ChangeSet) []int32 {
 		s.recompute(sc, v)
 	}
 	s.LastRecomputed = len(sv)
+	s.markSynced()
 	return sv
 }
 

@@ -43,6 +43,12 @@ const (
 	// MisreportError perturbs the final Result.Error, modelling a
 	// reporting bug that leaves the circuit itself intact.
 	MisreportError Kind = "misreport-error"
+	// SkipCutWarmUpdate drops one cut.Set.UpdateAfter repair after an
+	// applied LAC while still marking the set as in sync with the graph —
+	// the exact bug class the cross-round warm start of the comprehensive
+	// analysis would silently trust: a later pass warm-starts from stale
+	// cuts instead of falling back to a cold rebuild.
+	SkipCutWarmUpdate Kind = "skip-cut-warm-update"
 )
 
 // Kinds returns every injectable fault kind, in a stable order.
@@ -54,6 +60,7 @@ func Kinds() []Kind {
 		SkipMetricCommit,
 		FlipSimBit,
 		MisreportError,
+		SkipCutWarmUpdate,
 	}
 }
 

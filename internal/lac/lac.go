@@ -335,6 +335,48 @@ func (gen *Generator) sasimiAppend(out []LAC, v int32, gain int) []LAC {
 	return out
 }
 
+// Memo carries per-node evaluation results across EvaluateTargetsMemoCtx
+// calls of one synthesis run, keyed by an explicit epoch. A candidate's
+// evaluated error depends on the *global* metric state — the error of the
+// whole circuit after applying it — so any applied LAC invalidates every
+// memoized evaluation, not just the ones near the change: the owner must
+// bump the epoch (Invalidate) after every state change that can affect
+// generation or evaluation — an applied LAC (graph, simulation, metric
+// state, similarity index), a rollback, or a MaxPerNode adjustment. A node
+// is served from the memo only when its entry was stored in the current
+// epoch, i.e. when nothing at all changed since it was evaluated; the
+// reused NodeBest is then trivially bit-identical to a re-evaluation.
+//
+// The real reuse window is a dual-phase round boundary that applies
+// nothing: when phase 2 exits on its error-budget or self-adaption check
+// (rather than by applying its last candidate), the following
+// comprehensive pass runs under the exact state of the last phase-2
+// evaluation and reuses its S_cand evaluations — including the serial
+// candidate generation, which no parallelism can hide.
+type Memo struct {
+	epoch uint64
+	stamp []uint64 // per var: epoch of the node's stored evaluation
+	best  []NodeBest
+	work  []int64 // per var: work estimate of the stored evaluation
+}
+
+// NewMemo returns an empty memo for graphs with numVars variables.
+func NewMemo(numVars int) *Memo {
+	return &Memo{
+		epoch: 1,
+		stamp: make([]uint64, numVars),
+		best:  make([]NodeBest, numVars),
+		work:  make([]int64, numVars),
+	}
+}
+
+// Invalidate starts a new epoch, atomically dropping every memoized
+// evaluation. Cheap: entries age out by stamp mismatch.
+func (m *Memo) Invalidate() { m.epoch++ }
+
+// fresh reports whether v's stored evaluation is from the current epoch.
+func (m *Memo) fresh(v int32) bool { return m != nil && m.stamp[v] == m.epoch }
+
 // Eval is the evaluated error of one candidate LAC.
 type Eval struct {
 	LAC
@@ -369,19 +411,36 @@ func EvaluateTargets(gen *Generator, res *cpm.Result, st *metric.State, targets 
 // alongside the partial (unsorted, incomplete) bests, which the caller
 // must discard. An uncancelled run is bit-identical to EvaluateTargets.
 func EvaluateTargetsCtx(ctx context.Context, gen *Generator, res *cpm.Result, st *metric.State, targets []int32, threads int) ([]NodeBest, int64, error) {
+	bests, work, _, _, err := EvaluateTargetsMemoCtx(ctx, gen, res, st, targets, threads, nil)
+	return bests, work, err
+}
+
+// EvaluateTargetsMemoCtx is EvaluateTargetsCtx with cross-call
+// memoization: targets whose memo entry is from the current epoch skip
+// both candidate generation and evaluation and reuse the stored NodeBest —
+// bit-identical by the Memo epoch contract — while every freshly evaluated
+// target is stored back. A nil memo disables memoization.
+//
+// The returned work includes reusedWork, the recorded work estimate of the
+// reused evaluations: an unchanged state implies an identical re-evaluation
+// cost, so charging it keeps the deterministic work profile — and with it
+// DP-SA's self-adaption trajectory — bit-identical to a memo-less run.
+// hits counts the targets served from the memo.
+func EvaluateTargetsMemoCtx(ctx context.Context, gen *Generator, res *cpm.Result, st *metric.State, targets []int32, threads int, memo *Memo) (bests []NodeBest, work, reusedWork int64, hits int, err error) {
 	// Candidate generation is serial (shared graph traversal state); all
 	// targets share one reused buffer, addressed by [start, end) offsets so
 	// growth during generation cannot invalidate earlier targets' slices.
+	// Memo-fresh targets keep an empty slot: their generation is skipped.
 	gen.lacBuf = gen.lacBuf[:0]
 	gen.offs = gen.offs[:0]
 	for _, v := range targets {
 		start := len(gen.lacBuf)
-		if res.Has(v) {
+		if res.Has(v) && !memo.fresh(v) {
 			gen.lacBuf = gen.appendCandidates(gen.lacBuf, v)
 		}
 		gen.offs = append(gen.offs, [2]int{start, len(gen.lacBuf)})
 	}
-	var work int64
+	var hits64 int64
 	out := make([]NodeBest, len(targets))
 	workers := par.ScratchSlots(threads, len(targets))
 	if gen.evState != st {
@@ -392,12 +451,22 @@ func EvaluateTargetsCtx(ctx context.Context, gen *Generator, res *cpm.Result, st
 		gen.evs = append(gen.evs, nil)
 	}
 	evs := gen.evs[:workers]
-	err := par.ForCtx(ctx, threads, len(targets), func(w, i int) {
+	err = par.ForCtx(ctx, threads, len(targets), func(w, i int) {
+		v := targets[i]
+		// Serve memo-fresh targets without touching the evaluator. The
+		// res.Has guard is belt-and-braces: a fresh stamp implies an
+		// unchanged state, under which every analysis produces a row for v.
+		if memo.fresh(v) && res.Has(v) {
+			out[i] = memo.best[v]
+			atomic.AddInt64(&work, memo.work[v])
+			atomic.AddInt64(&reusedWork, memo.work[v])
+			atomic.AddInt64(&hits64, 1)
+			return
+		}
 		if evs[w] == nil {
 			evs[w] = st.NewEvaluator()
 		}
 		ev := evs[w]
-		v := targets[i]
 		cl := gen.lacBuf[gen.offs[i][0]:gen.offs[i][1]]
 		nb := NodeBest{Node: v, Best: Eval{Err: -1}}
 		row := res.Row(v)
@@ -414,9 +483,16 @@ func EvaluateTargetsCtx(ctx context.Context, gen *Generator, res *cpm.Result, st
 		}
 		out[i] = nb
 		atomic.AddInt64(&work, wk)
+		if memo != nil && nb.N > 0 {
+			// Distinct targets → distinct slots; race-clean like out[i].
+			memo.best[v] = nb
+			memo.work[v] = wk
+			memo.stamp[v] = memo.epoch
+		}
 	})
+	hits = int(atomic.LoadInt64(&hits64))
 	if err != nil {
-		return out, work, err
+		return out, work, reusedWork, hits, err
 	}
 	// Drop targets with no evaluated candidate, sort by error.
 	kept := out[:0]
@@ -434,5 +510,5 @@ func EvaluateTargetsCtx(ctx context.Context, gen *Generator, res *cpm.Result, st
 		}
 		return kept[a].Node < kept[b].Node
 	})
-	return kept, work, nil
+	return kept, work, reusedWork, hits, nil
 }

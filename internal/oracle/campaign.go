@@ -31,6 +31,12 @@ type RunSpec struct {
 	SASIMI     bool        `json:"sasimi,omitempty"`
 	MaxIters   int         `json:"maxIters,omitempty"`
 	NoCPMCache bool        `json:"noCPMCache,omitempty"`
+	// NoWarmStart disables the cross-round phase-1 reuse (incremental cut
+	// carry-over, CPM row refresh, eval memo) and forces every
+	// comprehensive pass to rebuild cold. Warm and cold runs of the same
+	// spec must be bit-identical, so pairing a spec with its NoWarmStart
+	// twin is a differential check on the whole reuse layer.
+	NoWarmStart bool `json:"noWarmStart,omitempty"`
 
 	// CancelAfter > 0 cancels the run's context right after the N-th
 	// applied LAC, exercising the best-so-far exit paths.
@@ -53,6 +59,7 @@ func (s RunSpec) Options() core.Options {
 	opt.LACs = lac.Options{Constants: true, SASIMI: s.SASIMI}
 	opt.MaxIters = s.MaxIters
 	opt.NoCPMCache = s.NoCPMCache
+	opt.NoWarmStart = s.NoWarmStart
 	if s.Fault != fault.None && s.Fault != "" {
 		opt.Fault = fault.New(s.Fault, s.FaultNth)
 	}

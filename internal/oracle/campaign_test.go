@@ -28,6 +28,13 @@ func testbeds() []*aig.Graph {
 func baseSpecs() []RunSpec {
 	return []RunSpec{
 		{Flow: core.FlowDPSA, Metric: metric.MED, Threshold: 6, Patterns: 256, Seed: 1, Threads: 1, MaxIters: 30},
+		// SASIMI wire substitutions grow the substitute's fanout, so a
+		// skipped incremental cut repair leaves cuts that miss real
+		// propagation paths. Constant-replacement LACs only ever shrink
+		// fanout; their stale cuts carry extra dead elements whose region
+		// diffs are zero, making skip-cut-warm-update score-equivalent
+		// there — this spec is what makes that kind observable.
+		{Flow: core.FlowDPSA, Metric: metric.MED, Threshold: 6, Patterns: 256, Seed: 5, Threads: 1, MaxIters: 30, SASIMI: true},
 		{Flow: core.FlowDP, Metric: metric.ER, Threshold: 0.3, Patterns: 256, Seed: 2, Threads: 1, MaxIters: 30},
 		{Flow: core.FlowConventional, Metric: metric.MED, Threshold: 10, Patterns: 256, Seed: 3, Threads: 1, MaxIters: 30},
 		{Flow: core.FlowVECBEE, Metric: metric.ER, Threshold: 0.25, Patterns: 256, Seed: 4, Threads: 1, MaxIters: 20},
