@@ -1,0 +1,264 @@
+// Command alsload exercises a running alsd daemon and reports latency
+// percentiles and cache hit rates — the load-test harness behind the
+// EXPERIMENTS.md serving table.
+//
+// The workload cycles through -seeds distinct seeds; with fewer seeds
+// than requests, repeat submissions exercise the result cache, so the
+// hit/miss split reported at the end reflects steady-state serving.
+//
+//	alsload -addr localhost:8337 -n 64 -c 4 -circuit mult:4x4 -seeds 8
+//
+// -check-cache runs the CI smoke protocol instead: submit one job twice
+// sequentially, require the second response to be a cache hit with a
+// byte-identical circuit, and exit non-zero otherwise.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dpals"
+)
+
+type result struct {
+	latency time.Duration
+	cache   string
+	err     error
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "localhost:8337", "alsd address (host:port)")
+		n         = flag.Int("n", 64, "total requests")
+		c         = flag.Int("c", 4, "concurrent clients")
+		circuit   = flag.String("circuit", "mult:4x4", "workload circuit: mult:NxM, adder:N, or an AIGER/BLIF file path")
+		flow      = flag.String("flow", "dpsa", "synthesis flow")
+		metric    = flag.String("metric", "er", "error metric")
+		threshold = flag.Float64("threshold", 0.05, "error budget")
+		patterns  = flag.Int("patterns", 1024, "simulation patterns")
+		seeds     = flag.Int("seeds", 8, "distinct seeds cycled through the workload")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request timeout")
+		tenant    = flag.String("tenant", "alsload", "X-Tenant header value")
+		printReq  = flag.Bool("print-request", false, "print one request body as JSON and exit")
+		check     = flag.Bool("check-cache", false, "submit one job twice; require hit + byte-identical circuit")
+	)
+	flag.Parse()
+
+	text, format, err := loadCircuit(*circuit)
+	if err != nil {
+		fatalf("circuit: %v", err)
+	}
+	makeBody := func(seed int64) []byte {
+		body, err := json.Marshal(map[string]any{
+			"circuit": text, "format": format,
+			"flow": *flow, "metric": *metric, "threshold": *threshold,
+			"patterns": *patterns, "seed": seed,
+		})
+		if err != nil {
+			fatalf("marshal: %v", err)
+		}
+		return body
+	}
+
+	if *printReq {
+		os.Stdout.Write(makeBody(1))
+		fmt.Println()
+		return
+	}
+
+	url := "http://" + *addr + "/v1/jobs"
+	client := &http.Client{Timeout: *timeout}
+	submit := func(body []byte) (*jobReply, time.Duration, error) {
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Tenant", *tenant)
+		start := time.Now()
+		resp, err := client.Do(req)
+		lat := time.Since(start)
+		if err != nil {
+			return nil, lat, err
+		}
+		defer resp.Body.Close()
+		var jr jobReply
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			return nil, lat, fmt.Errorf("decode: %w", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, lat, fmt.Errorf("status %d: %s", resp.StatusCode, jr.Error)
+		}
+		return &jr, lat, nil
+	}
+
+	if *check {
+		first, _, err := submit(makeBody(1))
+		if err != nil {
+			fatalf("first submission: %v", err)
+		}
+		second, lat, err := submit(makeBody(1))
+		if err != nil {
+			fatalf("second submission: %v", err)
+		}
+		if second.Cache != "hit" {
+			fatalf("second submission was %q, want cache hit", second.Cache)
+		}
+		if second.Circuit != first.Circuit {
+			fatalf("cache hit returned a different circuit than the original run")
+		}
+		fmt.Printf("cache check ok: hit in %v, %d gates, stop_reason %s\n",
+			lat.Round(time.Microsecond), second.Gates, second.StopReason)
+		return
+	}
+
+	jobs := make(chan int64, *n)
+	for i := 0; i < *n; i++ {
+		jobs <- int64(1 + i%max(1, *seeds))
+	}
+	close(jobs)
+	results := make([]result, 0, *n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range jobs {
+				jr, lat, err := submit(makeBody(seed))
+				r := result{latency: lat, err: err}
+				if jr != nil {
+					r.cache = jr.Cache
+				}
+				mu.Lock()
+				results = append(results, r)
+				mu.Unlock()
+			}
+		}()
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+	report(results, elapsed)
+}
+
+type jobReply struct {
+	Cache      string `json:"cache"`
+	Circuit    string `json:"circuit"`
+	Gates      int    `json:"gates"`
+	StopReason string `json:"stop_reason"`
+	Error      string `json:"error"` // set on failure responses
+}
+
+func report(results []result, elapsed time.Duration) {
+	var hits, misses, other []time.Duration
+	errs := 0
+	for _, r := range results {
+		switch {
+		case r.err != nil:
+			errs++
+			fmt.Fprintf(os.Stderr, "alsload: request failed: %v\n", r.err)
+		case r.cache == "hit":
+			hits = append(hits, r.latency)
+		case r.cache == "miss":
+			misses = append(misses, r.latency)
+		default:
+			other = append(other, r.latency)
+		}
+	}
+	total := len(results)
+	fmt.Printf("requests %d  errors %d  elapsed %v  throughput %.1f req/s\n",
+		total, errs, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+	if total > 0 {
+		fmt.Printf("cache hit rate %.1f%% (%d hits, %d misses, %d other)\n",
+			100*float64(len(hits))/float64(total), len(hits), len(misses), len(other))
+	}
+	fmt.Println("| class | count | p50 | p90 | p99 | max |")
+	fmt.Println("|-------|------:|----:|----:|----:|----:|")
+	printRow("miss (synthesis)", misses)
+	printRow("hit (cache)", hits)
+	if errs > 0 {
+		os.Exit(1)
+	}
+}
+
+func printRow(name string, d []time.Duration) {
+	if len(d) == 0 {
+		fmt.Printf("| %s | 0 | – | – | – | – |\n", name)
+		return
+	}
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	fmt.Printf("| %s | %d | %v | %v | %v | %v |\n", name, len(d),
+		pct(d, 0.50), pct(d, 0.90), pct(d, 0.99), d[len(d)-1].Round(time.Microsecond))
+}
+
+func pct(sorted []time.Duration, q float64) time.Duration {
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx].Round(time.Microsecond)
+}
+
+// loadCircuit materialises the workload circuit as (text, format).
+func loadCircuit(spec string) (string, string, error) {
+	var ckt *dpals.Circuit
+	switch {
+	case strings.HasPrefix(spec, "mult:"):
+		dims := strings.SplitN(strings.TrimPrefix(spec, "mult:"), "x", 2)
+		if len(dims) != 2 {
+			return "", "", fmt.Errorf("want mult:NxM, got %q", spec)
+		}
+		n, err1 := strconv.Atoi(dims[0])
+		m, err2 := strconv.Atoi(dims[1])
+		if err1 != nil || err2 != nil || n < 1 || m < 1 {
+			return "", "", fmt.Errorf("bad multiplier dims %q", spec)
+		}
+		ckt = dpals.NewMultiplier(n, m, false)
+	case strings.HasPrefix(spec, "adder:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(spec, "adder:"))
+		if err != nil || n < 1 {
+			return "", "", fmt.Errorf("bad adder width %q", spec)
+		}
+		ckt = dpals.NewAdder(n)
+	default:
+		data, err := os.ReadFile(spec)
+		if err != nil {
+			return "", "", err
+		}
+		format := "blif"
+		if strings.HasPrefix(strings.TrimSpace(string(data)), "aag ") {
+			format = "aiger"
+		}
+		return string(data), format, nil
+	}
+	var buf bytes.Buffer
+	if err := ckt.WriteAIGER(&buf); err != nil {
+		return "", "", err
+	}
+	return buf.String(), "aiger", nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "alsload: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

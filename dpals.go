@@ -29,6 +29,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
+	"strings"
 	"time"
 
 	"dpals/internal/aig"
@@ -85,11 +87,60 @@ const (
 
 func (f Flow) String() string { return core.Flow(f).String() }
 
+// ParseFlow parses a flow name as accepted by the command-line tools and
+// the alsd server: "conventional", "vecbee", "accals", "dp", "dpsa" (or
+// "dp-sa"), case-insensitive. The empty string selects DPSA.
+func ParseFlow(name string) (Flow, error) {
+	switch strings.ToLower(name) {
+	case "conventional":
+		return Conventional, nil
+	case "vecbee":
+		return VECBEE, nil
+	case "accals":
+		return AccALS, nil
+	case "dp":
+		return DP, nil
+	case "dpsa", "dp-sa", "":
+		return DPSA, nil
+	}
+	return 0, fmt.Errorf("dpals: unknown flow %q", name)
+}
+
+// ParseMetric parses a metric name: "er", "mse", "med", "mhd",
+// case-insensitive. The empty string selects ER.
+func ParseMetric(name string) (Metric, error) {
+	switch strings.ToLower(name) {
+	case "er", "":
+		return ER, nil
+	case "mse":
+		return MSE, nil
+	case "med":
+		return MED, nil
+	case "mhd":
+		return MHD, nil
+	}
+	return 0, fmt.Errorf("dpals: unknown metric %q", name)
+}
+
 // Circuit is an immutable combinational circuit handle.
+//
+// A Circuit is safe for concurrent use once built: Approximate, the
+// Measure* helpers, the structural accessors and the Write* exporters all
+// operate on a private snapshot of the graph, so any number of goroutines
+// may share one Circuit — the steady state of a synthesis server running
+// many jobs against one uploaded circuit. Only SetWeights mutates the
+// handle and must not race with readers.
 type Circuit struct {
 	g       *aig.Graph
 	weights []float64 // recommended PO weights (nil: unsigned)
 }
+
+// snap returns a private clone of the underlying graph. Graph traversals
+// (Topo, Levels, mark-based walks) memoise state inside the graph they run
+// on, so every read path that triggers one — mapping, depth, export,
+// simulation, synthesis — works on a snapshot instead of the shared graph;
+// Clone itself only reads the receiver.
+func (c *Circuit) snap() *aig.Graph { return c.g.Clone() }
 
 // Name returns the circuit's name.
 func (c *Circuit) Name() string { return c.g.Name }
@@ -104,40 +155,53 @@ func (c *Circuit) NumOutputs() int { return c.g.NumPOs() }
 func (c *Circuit) NumGates() int { return c.g.NumAnds() }
 
 // Depth returns the logic depth in AND levels.
-func (c *Circuit) Depth() int { return int(c.g.Depth()) }
+func (c *Circuit) Depth() int { return int(c.snap().Depth()) }
 
 // Weights returns the recommended numeric PO weights, or nil for plain
 // unsigned LSB-first interpretation.
 func (c *Circuit) Weights() []float64 { return c.weights }
 
-// SetWeights overrides the numeric PO weights used by MSE/MED.
-func (c *Circuit) SetWeights(w []float64) { c.weights = w }
+// SetWeights overrides the numeric PO weights used by MSE/MED. A non-nil
+// w must have exactly one weight per primary output; nil restores the
+// plain unsigned LSB-first interpretation. The slice is copied, so the
+// caller may reuse it.
+func (c *Circuit) SetWeights(w []float64) error {
+	if w == nil {
+		c.weights = nil
+		return nil
+	}
+	if len(w) != c.NumOutputs() {
+		return fmt.Errorf("dpals: %d weights for %d outputs", len(w), c.NumOutputs())
+	}
+	c.weights = append([]float64(nil), w...)
+	return nil
+}
 
 // Area returns the mapped cell area under the built-in generic library.
-func (c *Circuit) Area() float64 { return techmap.Map(c.g, techmap.GenericLibrary()).Area }
+func (c *Circuit) Area() float64 { return techmap.Map(c.snap(), techmap.GenericLibrary()).Area }
 
 // Delay returns the mapped critical-path delay under the built-in library.
-func (c *Circuit) Delay() float64 { return techmap.Map(c.g, techmap.GenericLibrary()).Delay }
+func (c *Circuit) Delay() float64 { return techmap.Map(c.snap(), techmap.GenericLibrary()).Delay }
 
 // ADP returns the area-delay product under the built-in library.
-func (c *Circuit) ADP() float64 { return techmap.Map(c.g, techmap.GenericLibrary()).ADP() }
+func (c *Circuit) ADP() float64 { return techmap.Map(c.snap(), techmap.GenericLibrary()).ADP() }
 
 // LUTs returns the k-input LUT count of the circuit under the built-in
 // FPGA-style mapper — an alternative area model for ALS results.
-func (c *Circuit) LUTs(k int) int { return lutmap.Map(c.g, lutmap.Options{K: k}).LUTs }
+func (c *Circuit) LUTs(k int) int { return lutmap.Map(c.snap(), lutmap.Options{K: k}).LUTs }
 
 // WriteBLIF writes the circuit in BLIF format.
-func (c *Circuit) WriteBLIF(w io.Writer) error { return blif.Write(w, c.g) }
+func (c *Circuit) WriteBLIF(w io.Writer) error { return blif.Write(w, c.snap()) }
 
 // WriteAIGER writes the circuit in ASCII AIGER format.
-func (c *Circuit) WriteAIGER(w io.Writer) error { return aiger.Write(w, c.g) }
+func (c *Circuit) WriteAIGER(w io.Writer) error { return aiger.Write(w, c.snap()) }
 
 // WriteAIGERBinary writes the circuit in binary AIGER format.
-func (c *Circuit) WriteAIGERBinary(w io.Writer) error { return aiger.WriteBinary(w, c.g) }
+func (c *Circuit) WriteAIGERBinary(w io.Writer) error { return aiger.WriteBinary(w, c.snap()) }
 
 // WriteVerilog writes the circuit as a gate-level structural Verilog
 // module.
-func (c *Circuit) WriteVerilog(w io.Writer) error { return verilog.Write(w, c.g) }
+func (c *Circuit) WriteVerilog(w io.Writer) error { return verilog.Write(w, c.snap()) }
 
 // String summarises the circuit.
 func (c *Circuit) String() string { return c.g.String() }
@@ -255,16 +319,34 @@ func BenchmarkSuite(scaled bool) []Benchmark {
 	return out
 }
 
+// Seed handling. Options.Seed = 0 is the zero value and therefore cannot
+// mean "seed the RNG with 0": it is a documented alias for DefaultSeed,
+// normalised exactly once at the API boundary (see Options.Resolved). Two
+// runs whose resolved options agree — in particular, Seed: 0 and
+// Seed: DefaultSeed — draw identical patterns and return bit-identical
+// results; any two distinct resolved seeds are independent runs.
+const (
+	// UseDefaultSeed is the zero value of Options.Seed: an alias for
+	// DefaultSeed, not a seed of its own.
+	UseDefaultSeed int64 = 0
+	// DefaultSeed is the simulation seed an unset (zero) Options.Seed
+	// resolves to.
+	DefaultSeed int64 = 1
+)
+
 // Options configures Approximate. Zero values select sensible defaults
-// (8192 patterns, seed 1, constant LACs, all CPUs).
+// (8192 patterns, seed DefaultSeed, constant LACs, all CPUs).
 type Options struct {
 	Flow      Flow
 	Metric    Metric
 	Threshold float64   // error budget: ER fraction, or absolute MSE/MED
 	Weights   []float64 // numeric PO weights; nil uses the circuit's recommendation
 
-	Patterns int   // Monte-Carlo patterns (default 8192)
-	Seed     int64 // simulation seed (default 1)
+	Patterns int // Monte-Carlo patterns (default 8192)
+	// Seed is the simulation RNG seed. The zero value (UseDefaultSeed) is
+	// an alias for DefaultSeed — see the constants above. Every non-zero
+	// seed is its own independent run.
+	Seed int64
 	// Threads is the worker count for the whole analysis pipeline
 	// (simulation, cuts, CPM, LAC evaluation): ≤0 uses all CPUs, 1 runs
 	// serially. Results are bit-identical for every value.
@@ -306,6 +388,48 @@ type Options struct {
 	// incrementally maintained state across round boundaries. Results are
 	// bit-identical either way; for A/B benchmarking only.
 	NoWarmStart bool
+}
+
+// Resolved returns o with every defaulted knob replaced by the value the
+// run will actually use: Patterns 8192 when unset, Seed DefaultSeed when
+// UseDefaultSeed, Threads all CPUs when ≤ 0, constant LACs when no LAC
+// kind is enabled, and negative structural knobs (DepthLimit, M, N,
+// MaxIters, MaxLACsPerNode) clamped to their 0 "default" sentinel.
+// Approximate(c, o) ≡ Approximate(c, o.Resolved()) bit-identically — the
+// boundary normalises through this method — so resolved options are the
+// right identity for memoising results: two calls with equal resolved
+// options (and equal circuits and weights) return identical results,
+// Threads aside, which never changes results. The alsd server keys its
+// result cache on exactly this.
+func (o Options) Resolved() Options {
+	if o.Patterns <= 0 {
+		o.Patterns = 8192
+	}
+	if o.Seed == UseDefaultSeed {
+		o.Seed = DefaultSeed
+	}
+	if o.Threads <= 0 {
+		o.Threads = runtime.GOMAXPROCS(0)
+	}
+	if !o.UseConstLACs && !o.UseSASIMILACs {
+		o.UseConstLACs = true
+	}
+	if o.MaxLACsPerNode < 0 {
+		o.MaxLACsPerNode = 0
+	}
+	if o.DepthLimit < 0 {
+		o.DepthLimit = 0
+	}
+	if o.M < 0 {
+		o.M = 0
+	}
+	if o.N < 0 {
+		o.N = 0
+	}
+	if o.MaxIters < 0 {
+		o.MaxIters = 0
+	}
+	return o
 }
 
 // StopReason tells why a synthesis run ended. Runs stopped by a context
@@ -428,7 +552,11 @@ type Result struct {
 }
 
 // Approximate synthesises an approximate version of c under the given
-// error budget. c is not modified.
+// error budget. c is not modified, and concurrent Approximate calls may
+// share one Circuit: the graph is snapshotted at the boundary, so the
+// lazily cached traversal state of the shared graph is never touched —
+// the steady state of a synthesis server running many jobs against one
+// uploaded circuit.
 func Approximate(c *Circuit, opt Options) (*Result, error) {
 	return ApproximateContext(context.Background(), c, opt)
 }
@@ -447,13 +575,25 @@ func ApproximateContext(ctx context.Context, c *Circuit, opt Options) (*Result, 
 	if c == nil || c.g == nil {
 		return nil, errors.New("dpals: nil circuit")
 	}
+	if opt.Weights != nil && len(opt.Weights) != c.NumOutputs() {
+		return nil, fmt.Errorf("dpals: %d weights for %d outputs", len(opt.Weights), c.NumOutputs())
+	}
+	// Normalise every defaulted knob exactly once, at the boundary: below
+	// here opt.Seed, opt.Patterns etc. are the values the run uses, with
+	// no second defaulting site that could disagree (the old code mapped
+	// Seed != 0 only, silently aliasing an explicit Seed: 0 to 1 without
+	// anything a caller — or a result cache — could observe).
+	opt = opt.Resolved()
+	// Snapshot the shared graph before any analysis touches it: Clone
+	// reads but never writes the receiver, whereas Sweep and techmap.Map
+	// warm the graph's lazily cached traversal state (topo order, levels,
+	// mark scratch) — a data race when concurrent calls share one Circuit.
+	// Everything below runs against the private clone, which maps and
+	// sweeps bit-identically to the original.
+	g := c.g.Clone()
 	iopt := core.DefaultOptions(core.Flow(opt.Flow), metric.Kind(opt.Metric), opt.Threshold)
-	if opt.Patterns > 0 {
-		iopt.Patterns = opt.Patterns
-	}
-	if opt.Seed != 0 {
-		iopt.Seed = opt.Seed
-	}
+	iopt.Patterns = opt.Patterns
+	iopt.Seed = opt.Seed
 	iopt.Threads = opt.Threads
 	iopt.Exhaustive = opt.Exhaustive
 	iopt.InputProbabilities = opt.InputProbabilities
@@ -468,21 +608,18 @@ func ApproximateContext(ctx context.Context, c *Circuit, opt Options) (*Result, 
 		SASIMI:     opt.UseSASIMILACs,
 		MaxPerNode: opt.MaxLACsPerNode,
 	}
-	if !iopt.LACs.Constants && !iopt.LACs.SASIMI {
-		iopt.LACs.Constants = true
-	}
 	weights := opt.Weights
 	if weights == nil {
 		weights = c.weights
 	}
 	iopt.Weights = weights
 
-	res, err := core.RunContext(ctx, c.g, iopt)
+	res, err := core.RunContext(ctx, g, iopt)
 	if err != nil {
 		return nil, err
 	}
 	lib := techmap.GenericLibrary()
-	mo := techmap.Map(c.g, lib)
+	mo := techmap.Map(g, lib)
 	ma := techmap.Map(res.Graph, lib)
 	out := &Result{
 		Circuit:  &Circuit{g: res.Graph, weights: weights},
@@ -536,8 +673,8 @@ func MeasureErrorBiased(orig, approx *Circuit, m Metric, weights []float64, patt
 		patterns = 8192
 	}
 	dist := sim.Biased{P: probs}
-	so := sim.New(orig.g, sim.Options{Patterns: patterns, Seed: seed, Dist: dist})
-	sa := sim.New(approx.g, sim.Options{Patterns: patterns, Seed: seed, Dist: dist})
+	so := sim.New(orig.snap(), sim.Options{Patterns: patterns, Seed: seed, Dist: dist})
+	sa := sim.New(approx.snap(), sim.Options{Patterns: patterns, Seed: seed, Dist: dist})
 	eo := make([]bitvec.Vec, orig.NumOutputs())
 	ea := make([]bitvec.Vec, orig.NumOutputs())
 	for o := range eo {
@@ -571,8 +708,8 @@ func MeasureError(orig, approx *Circuit, m Metric, weights []float64, patterns i
 	if patterns <= 0 {
 		patterns = 8192
 	}
-	so := sim.New(orig.g, sim.Options{Patterns: patterns, Seed: seed})
-	sa := sim.New(approx.g, sim.Options{Patterns: patterns, Seed: seed})
+	so := sim.New(orig.snap(), sim.Options{Patterns: patterns, Seed: seed})
+	sa := sim.New(approx.snap(), sim.Options{Patterns: patterns, Seed: seed})
 	eo := make([]bitvec.Vec, orig.NumOutputs())
 	ea := make([]bitvec.Vec, orig.NumOutputs())
 	for o := range eo {
@@ -627,8 +764,8 @@ func MeasureErrorExact(orig, approx *Circuit, m Metric, weights []float64) (floa
 		return 0, fmt.Errorf("dpals: interface mismatch")
 	}
 	patterns := 1 << orig.NumInputs()
-	so := sim.New(orig.g, sim.Options{Patterns: patterns, Dist: sim.Exhaustive{}})
-	sa := sim.New(approx.g, sim.Options{Patterns: patterns, Dist: sim.Exhaustive{}})
+	so := sim.New(orig.snap(), sim.Options{Patterns: patterns, Dist: sim.Exhaustive{}})
+	sa := sim.New(approx.snap(), sim.Options{Patterns: patterns, Dist: sim.Exhaustive{}})
 	eo := make([]bitvec.Vec, orig.NumOutputs())
 	ea := make([]bitvec.Vec, orig.NumOutputs())
 	for o := range eo {

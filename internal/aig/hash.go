@@ -1,0 +1,63 @@
+package aig
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// StructuralDigest returns a canonical SHA-256 digest of the graph's
+// function-relevant structure: the PI and PO counts, the live AND nodes
+// of the PO cone in topological order with fanin literals renumbered to
+// dense topological indices, and the PO literals. Node names, variable-id
+// gaps left by dead nodes, and logic dangling outside the PO cone are all
+// excluded — the synthesis engine sweeps before it runs and the
+// technology mapper walks the PO cone, so two graphs with equal digests
+// produce identical synthesis results and identical area/delay baselines.
+// Two files that merely format the same structure differently (comments,
+// names, node numbering) therefore digest equal, which is exactly what a
+// content-addressed result cache wants.
+//
+// Like every traversal, the digest memoises the topological order inside
+// the graph it runs on; do not call it concurrently with other operations
+// on the same graph.
+func (g *Graph) StructuralDigest() [sha256.Size]byte {
+	h := sha256.New()
+	var buf [4]byte
+	u32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte("dpals-aig-digest-v1\x00"))
+	u32(uint32(len(g.pis)))
+	u32(uint32(len(g.pos)))
+
+	// Topo orders constant and PIs first in stable order, then the AND
+	// cone of the POs; renumbering every literal to its topological index
+	// makes the encoding independent of variable-id assignment.
+	order := g.Topo()
+	dense := make([]uint32, len(g.nodes))
+	for i, v := range order {
+		dense[v] = uint32(i)
+	}
+	lit := func(l Lit) uint32 {
+		x := dense[l.Var()] << 1
+		if l.IsCompl() {
+			x |= 1
+		}
+		return x
+	}
+	for _, v := range order {
+		if !g.IsAnd(v) {
+			continue
+		}
+		n := &g.nodes[v]
+		u32(lit(n.fan0))
+		u32(lit(n.fan1))
+	}
+	for _, po := range g.pos {
+		u32(lit(po))
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}

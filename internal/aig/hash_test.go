@@ -1,0 +1,74 @@
+package aig
+
+import "testing"
+
+// buildFA constructs a one-bit full adder; names parameterised so tests
+// can prove the digest is name-blind.
+func buildFA(name, prefix string) *Graph {
+	g := New(name)
+	a := g.AddPI(prefix + "a")
+	b := g.AddPI(prefix + "b")
+	cin := g.AddPI(prefix + "cin")
+	s := g.Xor(g.Xor(a, b), cin)
+	cout := g.Or(g.And(a, b), g.And(cin, g.Xor(a, b)))
+	g.AddPO(s, prefix+"sum")
+	g.AddPO(cout, prefix+"cout")
+	return g
+}
+
+func TestStructuralDigestNameBlind(t *testing.T) {
+	d1 := buildFA("fa", "x_").StructuralDigest()
+	d2 := buildFA("other", "y_").StructuralDigest()
+	if d1 != d2 {
+		t.Fatal("digest depends on circuit/PI/PO names")
+	}
+}
+
+func TestStructuralDigestSeesStructure(t *testing.T) {
+	base := buildFA("fa", "").StructuralDigest()
+
+	// Complementing a PO changes the function.
+	g := buildFA("fa", "")
+	g.SetPO(1, g.PO(1).Not())
+	if g.StructuralDigest() == base {
+		t.Fatal("digest blind to PO complementation")
+	}
+
+	// A different gate in the cone changes the structure.
+	h := New("fa")
+	a, b, cin := h.AddPI("a"), h.AddPI("b"), h.AddPI("cin")
+	h.AddPO(h.Xor(h.Xor(a, b), cin), "sum")
+	h.AddPO(h.And(h.And(a, b), cin), "cout") // AND where the adder has MAJ
+	if h.StructuralDigest() == base {
+		t.Fatal("digest blind to gate structure")
+	}
+
+	// An extra (unused) PI changes the interface.
+	i := buildFA("fa", "")
+	i.AddPI("spare")
+	if i.StructuralDigest() == base {
+		t.Fatal("digest blind to PI count")
+	}
+}
+
+func TestStructuralDigestIgnoresDanglingLogic(t *testing.T) {
+	g := buildFA("fa", "")
+	pis := g.PIs()
+	// Dangling logic outside the PO cone: present in the node table but
+	// invisible to synthesis (which sweeps) and mapping (PO-cone walk).
+	g.And(MakeLit(pis[0], true), MakeLit(pis[2], true))
+	if g.StructuralDigest() != buildFA("fa", "").StructuralDigest() {
+		t.Fatal("digest includes logic outside the PO cone")
+	}
+}
+
+func TestStructuralDigestCloneStable(t *testing.T) {
+	g := buildFA("fa", "")
+	d := g.StructuralDigest()
+	if c := g.Clone(); c.StructuralDigest() != d {
+		t.Fatal("clone digests differently from its source")
+	}
+	if g.StructuralDigest() != d {
+		t.Fatal("digest not deterministic on repeat calls")
+	}
+}

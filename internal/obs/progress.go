@@ -24,6 +24,7 @@ import (
 // All methods are nil-safe, so the engine can call them unconditionally.
 type Progress struct {
 	w     io.Writer
+	fn    func(iter, ands int, err, budget float64)
 	every time.Duration
 
 	mu      sync.Mutex
@@ -43,6 +44,18 @@ func NewProgress(w io.Writer, every time.Duration) *Progress {
 		every = 100 * time.Millisecond
 	}
 	return &Progress{w: w, every: every, start: time.Now()}
+}
+
+// NewProgressFunc returns a renderer that forwards each rate-limited
+// update to fn instead of drawing a terminal line — the hook the alsd
+// server uses to fan progress out to SSE subscribers. fn runs on the
+// engine's goroutine under the Progress mutex and must not block; hand
+// the event to a channel or drop it. `every` ≤ 0 selects 100ms.
+func NewProgressFunc(fn func(iter, ands int, err, budget float64), every time.Duration) *Progress {
+	if every <= 0 {
+		every = 100 * time.Millisecond
+	}
+	return &Progress{fn: fn, every: every, start: time.Now()}
 }
 
 // Update renders the current state if the rate limit allows. iter is the
@@ -93,6 +106,12 @@ func (p *Progress) Renders() int64 {
 }
 
 func (p *Progress) render(iter, ands int, err, budget float64, now time.Time) {
+	if p.fn != nil {
+		p.fn(iter, ands, err, budget)
+		p.last = now
+		p.renders++
+		return
+	}
 	line := progressLine(iter, ands, err, budget, now.Sub(p.start))
 	pad := ""
 	if n := p.width - len(line); n > 0 {

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cachedResult is the memoised outcome of a completed deterministic run.
+// Only StopBudget / StopMaxIters results are stored: those are pure
+// functions of the cache key, while cancelled or deadline-stopped runs
+// depend on wall clock and client behaviour.
+type cachedResult struct {
+	circuit    []byte // ASCII AIGER of the approximate circuit
+	gates      int
+	errorValue float64
+	areaRatio  float64
+	delayRatio float64
+	adpRatio   float64
+	applied    int
+	stopReason string
+}
+
+func (r *cachedResult) size() int64 { return int64(len(r.circuit)) + 128 }
+
+// cache is a content-addressed LRU over cache keys, bounded both by entry
+// count and by total bytes of stored circuits.
+type cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	order      *list.List // front = most recent
+	entries    map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	res *cachedResult
+}
+
+func newCache(maxEntries int, maxBytes int64) *cache {
+	if maxEntries <= 0 {
+		maxEntries = 1024
+	}
+	if maxBytes <= 0 {
+		maxBytes = 256 << 20
+	}
+	return &cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		order:      list.New(),
+		entries:    make(map[string]*list.Element),
+	}
+}
+
+func (c *cache) get(key string) (*cachedResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheEntry).res, true
+}
+
+func (c *cache) put(key string, res *cachedResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// A concurrent identical job already filled this key; the results
+		// are bit-identical by construction, keep the incumbent.
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, res: res})
+	c.entries[key] = el
+	c.bytes += res.size()
+	for (c.order.Len() > c.maxEntries || c.bytes > c.maxBytes) && c.order.Len() > 1 {
+		c.evictOldest()
+	}
+}
+
+func (c *cache) evictOldest() {
+	el := c.order.Back()
+	if el == nil {
+		return
+	}
+	ent := el.Value.(*cacheEntry)
+	c.order.Remove(el)
+	delete(c.entries, ent.key)
+	c.bytes -= ent.res.size()
+	c.evictions++
+}
+
+type cacheStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+func (c *cache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		Entries:   c.order.Len(),
+		Bytes:     c.bytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

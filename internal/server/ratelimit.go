@@ -1,0 +1,63 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-tenant token bucket: each key sustains `rate`
+// submissions per second with a burst allowance. rate ≤ 0 disables
+// limiting entirely.
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst <= 0 {
+		burst = 8
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+	}
+}
+
+func (l *rateLimiter) allow(key string, now time.Time) bool {
+	if l.rate <= 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= 4096 {
+			// Shed tenants that have fully refilled; they lose nothing.
+			for k, old := range l.buckets {
+				if old.tokens+now.Sub(old.last).Seconds()*l.rate >= l.burst {
+					delete(l.buckets, k)
+				}
+			}
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(2, 1<<20)
+	r := func(tag string) *cachedResult { return &cachedResult{circuit: []byte(tag)} }
+	c.put("a", r("a"))
+	c.put("b", r("b"))
+	if _, ok := c.get("a"); !ok { // refresh a: b is now LRU
+		t.Fatal("miss on fresh entry a")
+	}
+	c.put("c", r("c"))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction at capacity 2 despite being LRU")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("newest entry c missing")
+	}
+	st := c.stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction / 2 entries", st)
+	}
+}
+
+func TestCacheByteCapEviction(t *testing.T) {
+	// Each entry costs len(circuit)+128 bytes; cap admits ~2 of these.
+	c := newCache(100, 600)
+	big := make([]byte, 150)
+	c.put("a", &cachedResult{circuit: big})
+	c.put("b", &cachedResult{circuit: big})
+	c.put("c", &cachedResult{circuit: big})
+	st := c.stats()
+	if st.Entries != 2 || st.Bytes > 600 {
+		t.Fatalf("stats = %+v, want 2 entries within the 600-byte cap", st)
+	}
+	if _, ok := c.get("a"); ok {
+		t.Fatal("oldest entry survived byte-cap eviction")
+	}
+}
+
+func TestCacheKeepsIncumbentOnDuplicatePut(t *testing.T) {
+	c := newCache(4, 1<<20)
+	c.put("k", &cachedResult{circuit: []byte("first")})
+	c.put("k", &cachedResult{circuit: []byte("second")})
+	got, ok := c.get("k")
+	if !ok || string(got.circuit) != "first" {
+		t.Fatalf("duplicate put replaced the incumbent: %q", got.circuit)
+	}
+	if st := c.stats(); st.Entries != 1 {
+		t.Fatalf("duplicate put grew the cache: %+v", st)
+	}
+}
+
+func TestQueuePriorityThenFIFO(t *testing.T) {
+	q := newJobQueue(8)
+	mk := func(prio int, seq uint64) *job { return &job{priority: prio, seq: seq} }
+	for _, j := range []*job{mk(0, 1), mk(5, 2), mk(9, 3), mk(5, 4)} {
+		if err := q.push(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []struct {
+		prio int
+		seq  uint64
+	}{{9, 3}, {5, 2}, {5, 4}, {0, 1}}
+	for i, w := range want {
+		j, ok := q.pop()
+		if !ok || j.priority != w.prio || j.seq != w.seq {
+			t.Fatalf("pop %d = (%d,%d), want (%d,%d)", i, j.priority, j.seq, w.prio, w.seq)
+		}
+	}
+}
+
+func TestQueueBoundsAndDrain(t *testing.T) {
+	q := newJobQueue(2)
+	if err := q.push(&job{seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(&job{seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(&job{seq: 3}); err != errQueueFull {
+		t.Fatalf("push beyond cap = %v, want errQueueFull", err)
+	}
+	q.close()
+	if err := q.push(&job{seq: 4}); err != errDraining {
+		t.Fatalf("push after close = %v, want errDraining", err)
+	}
+	// A closed queue still drains its backlog before reporting done, so
+	// every accepted job is answered during graceful shutdown.
+	for i := 0; i < 2; i++ {
+		if _, ok := q.pop(); !ok {
+			t.Fatalf("pop %d after close lost a queued job", i)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop on drained closed queue returned a job")
+	}
+}
+
+func TestRateLimiterTokenBucket(t *testing.T) {
+	l := newRateLimiter(1, 2) // 1/s sustained, burst 2
+	now := time.Unix(1000, 0)
+	if !l.allow("a", now) || !l.allow("a", now) {
+		t.Fatal("burst of 2 rejected")
+	}
+	if l.allow("a", now) {
+		t.Fatal("third immediate request allowed past burst")
+	}
+	if !l.allow("b", now) {
+		t.Fatal("tenant b throttled by tenant a's flood")
+	}
+	if !l.allow("a", now.Add(1100*time.Millisecond)) {
+		t.Fatal("token did not refill after 1.1s at 1/s")
+	}
+	unlimited := newRateLimiter(0, 0)
+	for i := 0; i < 100; i++ {
+		if !unlimited.allow("a", now) {
+			t.Fatal("disabled limiter rejected a request")
+		}
+	}
+}
