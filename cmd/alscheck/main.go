@@ -28,6 +28,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -63,6 +64,8 @@ func main() {
 	out := flag.String("out", "testdata/shrunk", "directory for shrunk repro fixtures")
 	emitFaultRepros := flag.Bool("emit-fault-repros", false,
 		"also shrink+save one repro per detected fault kind (fixture generation)")
+	certStats := flag.String("cert-stats", "",
+		"write campaign-wide WCE certification accounting (runs, SAT calls, cex hits, rollbacks, time) as JSON to this file")
 	flag.BoolVar(&verbose, "v", false, "log every campaign step")
 	flag.Parse()
 
@@ -93,6 +96,20 @@ func main() {
 	}
 
 	fmt.Printf("alscheck: %d runs, %d checks, %d failures\n", c.runs, c.checks, c.failures)
+	if c.cert.Runs > 0 {
+		fmt.Printf("  WCE cert: %d runs, %d SAT calls, %d cex-cache hits, %d rollbacks\n",
+			c.cert.Runs, c.cert.Calls, c.cert.CexHits, c.cert.Rollbacks)
+	}
+	if *certStats != "" {
+		data, err := json.MarshalIndent(c.cert, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*certStats, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "alscheck: cert stats:", err)
+			c.failures++
+		}
+	}
 	if *faults {
 		for _, k := range fault.Kinds() {
 			if c.detectedKinds[k] {
@@ -120,6 +137,30 @@ type campaign struct {
 
 	failures      int
 	detectedKinds map[fault.Kind]bool
+	cert          certSummary
+}
+
+// certSummary is the campaign-wide WCE certification accounting exported
+// by -cert-stats (a CI artifact: trends in SAT-call counts and rollbacks
+// across nightly sweeps).
+type certSummary struct {
+	Runs      int   `json:"wce_runs"`
+	Calls     int   `json:"cert_calls"`
+	CexHits   int   `json:"cert_cex_hits"`
+	Rollbacks int   `json:"cert_rollbacks"`
+	TimeNS    int64 `json:"cert_time_ns"`
+}
+
+// noteCert folds one WCE run's certification stats into the summary.
+func (c *campaign) noteCert(spec oracle.RunSpec, res *core.Result) {
+	if spec.Metric != metric.WCE || res == nil {
+		return
+	}
+	c.cert.Runs++
+	c.cert.Calls += res.Stats.CertCalls
+	c.cert.CexHits += res.Stats.CertCexHits
+	c.cert.Rollbacks += res.Stats.CertRollbacks
+	c.cert.TimeNS += res.Stats.CertTime.Nanoseconds()
 }
 
 // circuitFor derives a varied but reproducible random circuit from the
@@ -147,9 +188,31 @@ func thresholdFor(k metric.Kind, g *aig.Graph) float64 {
 		return r * r
 	case metric.MHD:
 		return 0.5
+	case metric.WCE:
+		return float64(wceBoundFor(g))
 	default: // MED
 		return r
 	}
+}
+
+// wceBoundFor picks a deliberately tight worst-case budget: candidates that
+// squeeze under the SAMPLED estimate near the bound are the ones whose true
+// worst case is most likely to exceed it, which is exactly the traffic the
+// certification step — and the skip-wce-cert fault detection — needs.
+func wceBoundFor(g *aig.Graph) uint64 {
+	b := uint64(metric.ReferenceError(g.NumPOs()))
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// wceSpec upgrades a spec to the WCE-constrained flow on g.
+func wceSpec(spec oracle.RunSpec, g *aig.Graph) oracle.RunSpec {
+	spec.Metric = metric.WCE
+	spec.WCEBound = wceBoundFor(g)
+	spec.Threshold = float64(spec.WCEBound)
+	return spec
 }
 
 func (c *campaign) runSeed(seed int64, maxPIs int, faults, emitFaultRepros bool) {
@@ -160,6 +223,9 @@ func (c *campaign) runSeed(seed int64, maxPIs int, faults, emitFaultRepros bool)
 			spec := oracle.RunSpec{
 				Flow: flow, Metric: mk, Threshold: thresholdFor(mk, g),
 				Patterns: c.patterns, Seed: seed, Threads: 1, MaxIters: c.maxIters,
+			}
+			if mk == metric.WCE {
+				spec = wceSpec(spec, g)
 			}
 			c.differential(g, spec)
 		}
@@ -179,6 +245,11 @@ func (c *campaign) runSeed(seed int64, maxPIs int, faults, emitFaultRepros bool)
 		spec.Flow = core.FlowConventional
 		t := spec.Threshold
 		c.report(g, spec, oracle.CheckBudgetMonotonic(g, spec, []float64{t / 4, t, t * 4}), "budget-monotonic ladder")
+		// Same metamorphic idea under the WCE-constrained flow: loosening the
+		// certified bound must be monotone in applied LACs and gate count.
+		ws := wceSpec(spec, g)
+		b := ws.WCEBound
+		c.report(g, ws, oracle.CheckWCEBoundMonotonic(g, ws, []uint64{max1(b / 2), b, 2 * b}), "wce-bound-monotonic ladder")
 	}
 	if faults {
 		c.faultSweep(g, base, emitFaultRepros)
@@ -196,6 +267,7 @@ func (c *campaign) differential(g *aig.Graph, spec oracle.RunSpec) {
 		return
 	}
 	c.report(g, spec, oracle.Verify(g, spec, ref.Result), "clean run")
+	c.noteCert(spec, ref.Result)
 
 	variants := []struct {
 		name string
@@ -242,6 +314,7 @@ func (c *campaign) differential(g *aig.Graph, spec oracle.RunSpec) {
 		return
 	}
 	c.report(g, cancel, oracle.Verify(g, cancel, cres), "cancelled run")
+	c.noteCert(cancel, cres)
 }
 
 func (c *campaign) exhaustiveCheck(g *aig.Graph, base oracle.RunSpec) {
@@ -298,6 +371,22 @@ func (c *campaign) faultSweep(g *aig.Graph, base oracle.RunSpec, emit bool) {
 		s.Threshold = thresholdFor(v.mk, g)
 		specs = append(specs, s)
 	}
+	// The WCE-constrained flow is where skip-wce-cert lives: a skipped
+	// certification is observable exactly when the SAMPLED worst case of the
+	// emitted circuit understates the true one — then the genuine SAT calls
+	// would have refused (or tightened past) what the skipped ones claimed,
+	// and the exhaustive oracle flags wce-cert-unsound. A 1024-pattern
+	// sample on a ≤ 12-PI circuit rarely misses the worst-case input, which
+	// would make the fault an equivalent mutant everywhere; a deliberately
+	// thin sample restores the gap between sampled and true that the
+	// certification step exists to close.
+	wdp := wceSpec(base, g)
+	wdp.Flow = core.FlowDP
+	wdp.Patterns = 64
+	wconv := wceSpec(base, g)
+	wconv.Flow = core.FlowConventional
+	wconv.Patterns = 64
+	specs = append(specs, wdp, wconv)
 	for _, kind := range fault.Kinds() {
 		if c.detectedKinds[kind] && !emit {
 			continue
@@ -391,6 +480,13 @@ func reproName(spec oracle.RunSpec, g *aig.Graph) string {
 
 func seedTag(spec oracle.RunSpec) string { return "s" + strconv.FormatInt(spec.Seed, 10) }
 
+func max1(v uint64) uint64 {
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+
 func parseRange(s string) (int64, int64, error) {
 	parts := strings.SplitN(s, ":", 2)
 	if len(parts) != 2 {
@@ -429,6 +525,7 @@ func parseFlows(s string) ([]core.Flow, error) {
 func parseMetrics(s string) ([]metric.Kind, error) {
 	m := map[string]metric.Kind{
 		"er": metric.ER, "mse": metric.MSE, "med": metric.MED, "mhd": metric.MHD,
+		"wce": metric.WCE,
 	}
 	var out []metric.Kind
 	for _, name := range strings.Split(s, ",") {

@@ -34,8 +34,11 @@ import (
 
 func main() {
 	flowName := flag.String("flow", "dpsa", "flow: conventional, vecbee, accals, dp, dpsa")
-	metricName := flag.String("metric", "mse", "error metric: er, mse, med")
+	metricName := flag.String("metric", "mse", "error metric: er, mse, med, mhd, wce")
 	threshold := flag.Float64("threshold", -1, "error budget (ER: fraction; MSE/MED: absolute; <0: paper median)")
+	wceBound := flag.Uint64("wce-bound", 0, "worst-case error budget for -metric wce (SAT-certified on the result)")
+	certEvery := flag.Int("cert-every", 0, "WCE: accepted LACs per SAT certification call (0 = default 8)")
+	certConflicts := flag.Int64("cert-conflict-limit", 0, "WCE: SAT conflict cap per certification call (0 = unlimited)")
 	patterns := flag.Int("patterns", 8192, "Monte-Carlo patterns")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	threads := flag.Int("threads", 0, "analysis worker threads (<=0 = all CPUs, 1 = serial)")
@@ -72,13 +75,24 @@ func main() {
 	if !ok {
 		check(fmt.Errorf("unknown flow %q", *flowName))
 	}
-	metrics := map[string]dpals.Metric{"er": dpals.ER, "mse": dpals.MSE, "med": dpals.MED, "mhd": dpals.MHD}
+	metrics := map[string]dpals.Metric{"er": dpals.ER, "mse": dpals.MSE, "med": dpals.MED, "mhd": dpals.MHD, "wce": dpals.WCE}
 	m, ok := metrics[strings.ToLower(*metricName)]
 	if !ok {
 		check(fmt.Errorf("unknown metric %q", *metricName))
 	}
 	thr := *threshold
-	if thr < 0 {
+	bound := *wceBound
+	if m == dpals.WCE {
+		if bound == 0 {
+			// Default budget: the paper's reference error R = 2^(POs/3),
+			// rounded down, at least 1 — the same median MED would use.
+			bound = uint64(dpals.ReferenceError(c))
+			if bound == 0 {
+				bound = 1
+			}
+		}
+		thr = float64(bound)
+	} else if thr < 0 {
 		R := dpals.ReferenceError(c)
 		switch m {
 		case dpals.ER:
@@ -175,7 +189,7 @@ func main() {
 		os.Exit(130)
 	}()
 
-	res, err := dpals.ApproximateContext(ctx, c, dpals.Options{
+	opt := dpals.Options{
 		Flow: flow, Metric: m, Threshold: thr,
 		Patterns: *patterns, Seed: *seed, Threads: *threads,
 		UseConstLACs: true, UseSASIMILACs: *sasimi,
@@ -183,7 +197,15 @@ func main() {
 		TimeLimit:   *timeLimit,
 		NoCPMCache:  *noCache,
 		NoWarmStart: *noWarm,
-	})
+	}
+	if m == dpals.WCE {
+		opt.WCEBound = bound
+		opt.CertEvery = *certEvery
+		opt.CertConflictLimit = *certConflicts
+	} else if *wceBound != 0 {
+		check(fmt.Errorf("-wce-bound requires -metric wce"))
+	}
+	res, err := dpals.ApproximateContext(ctx, c, opt)
 	check(err)
 	signal.Stop(sigc)
 	cancel()
@@ -206,6 +228,11 @@ func main() {
 		100*res.AreaRatio, 100*res.DelayRatio, 100*res.ADPRatio)
 	fmt.Printf("        %d LACs applied (%d comprehensive + %d incremental analyses, %d rollbacks) in %v\n",
 		res.Stats.Applied, res.Stats.Comprehensive, res.Stats.Incremental, res.Stats.Rollbacks, res.Stats.Runtime)
+	if m == dpals.WCE {
+		fmt.Printf("        certified WCE ≤ %d (budget %d): %d SAT calls, %d cex-cache hits, %d rollbacks, %v certifying\n",
+			res.Stats.CertifiedWCE, bound, res.Stats.CertCalls, res.Stats.CertCexHits,
+			res.Stats.CertRollbacks, res.Stats.CertTime)
+	}
 	if res.Stats.StopReason == dpals.StopCancelled || res.Stats.StopReason == dpals.StopDeadline {
 		fmt.Printf("        stopped early (%s): result is the valid best-so-far circuit\n", res.Stats.StopReason)
 	}
@@ -305,6 +332,13 @@ type runStats struct {
 
 	MTrace []int `json:"m_trace,omitempty"`
 
+	// WCE certification accounting (metric wce only).
+	CertifiedWCE  uint64 `json:"certified_wce,omitempty"`
+	CertCalls     int    `json:"cert_calls,omitempty"`
+	CertCexHits   int    `json:"cert_cex_hits,omitempty"`
+	CertRollbacks int    `json:"cert_rollbacks,omitempty"`
+	CertTimeNS    int64  `json:"cert_time_ns,omitempty"`
+
 	StopReason string `json:"stop_reason"`
 }
 
@@ -349,6 +383,12 @@ func writeStats(path string, flow dpals.Flow, m dpals.Metric, thr float64, res *
 		PoolHitRate: res.Stats.Pool.HitRate(),
 
 		MTrace: res.Stats.MTrace,
+
+		CertifiedWCE:  res.Stats.CertifiedWCE,
+		CertCalls:     res.Stats.CertCalls,
+		CertCexHits:   res.Stats.CertCexHits,
+		CertRollbacks: res.Stats.CertRollbacks,
+		CertTimeNS:    res.Stats.CertTime.Nanoseconds(),
 
 		StopReason: string(res.Stats.StopReason),
 	}

@@ -63,6 +63,12 @@ const (
 	// MHD is the mean Hamming distance: the average number of output bits
 	// that differ from the exact circuit per pattern.
 	MHD
+	// WCE is the worst-case error: the maximum absolute numeric deviation
+	// over ALL inputs, with outputs read as unsigned LSB-first integers
+	// (Weights must be nil, ≤ 62 outputs). Unlike the statistical metrics
+	// above, WCE runs are SAT-certified: every returned circuit carries a
+	// formally proven bound in Stats.CertifiedWCE ≤ Options.WCEBound.
+	WCE
 )
 
 func (m Metric) String() string { return metric.Kind(m).String() }
@@ -106,7 +112,7 @@ func ParseFlow(name string) (Flow, error) {
 	return 0, fmt.Errorf("dpals: unknown flow %q", name)
 }
 
-// ParseMetric parses a metric name: "er", "mse", "med", "mhd",
+// ParseMetric parses a metric name: "er", "mse", "med", "mhd", "wce",
 // case-insensitive. The empty string selects ER.
 func ParseMetric(name string) (Metric, error) {
 	switch strings.ToLower(name) {
@@ -118,6 +124,8 @@ func ParseMetric(name string) (Metric, error) {
 		return MED, nil
 	case "mhd":
 		return MHD, nil
+	case "wce":
+		return WCE, nil
 	}
 	return 0, fmt.Errorf("dpals: unknown metric %q", name)
 }
@@ -365,6 +373,21 @@ type Options struct {
 	UseSASIMILACs  bool // SASIMI signal substitution
 	MaxLACsPerNode int  // SASIMI candidates per node (default 8)
 
+	// WCEBound is the worst-case error budget for Metric == WCE: the run
+	// only emits circuits whose maximum absolute numeric deviation is
+	// SAT-certified ≤ WCEBound on every input. Ignored (and rejected when
+	// non-zero) for other metrics, which use Threshold instead.
+	WCEBound uint64
+	// CertEvery amortises SAT certification on the WCE path: a
+	// certification call covers up to CertEvery accepted LACs (plus one
+	// final call before emit). ≤ 0 selects the default of 8.
+	CertEvery int
+	// CertConflictLimit caps each SAT certification call at that many
+	// solver conflicts (0 = unlimited). A call that exhausts its budget
+	// counts as a failed certification and triggers rollback, keeping the
+	// emitted bound sound; the run then stops deterministically.
+	CertConflictLimit int64
+
 	DepthLimit int // VECBEE depth limit l (0 = ∞)
 	M, N       int // dual-phase parameters (0 = paper defaults)
 	MaxIters   int // cap on applied LACs (0 = unlimited)
@@ -393,8 +416,10 @@ type Options struct {
 // Resolved returns o with every defaulted knob replaced by the value the
 // run will actually use: Patterns 8192 when unset, Seed DefaultSeed when
 // UseDefaultSeed, Threads all CPUs when ≤ 0, constant LACs when no LAC
-// kind is enabled, and negative structural knobs (DepthLimit, M, N,
-// MaxIters, MaxLACsPerNode) clamped to their 0 "default" sentinel.
+// kind is enabled, negative structural knobs (DepthLimit, M, N,
+// MaxIters, MaxLACsPerNode) clamped to their 0 "default" sentinel, and
+// the WCE certification knobs normalised (CertEvery defaults to 8 on the
+// WCE path; all three are inert — zeroed — for other metrics).
 // Approximate(c, o) ≡ Approximate(c, o.Resolved()) bit-identically — the
 // boundary normalises through this method — so resolved options are the
 // right identity for memoising results: two calls with equal resolved
@@ -428,6 +453,20 @@ func (o Options) Resolved() Options {
 	}
 	if o.MaxIters < 0 {
 		o.MaxIters = 0
+	}
+	if o.Metric == WCE {
+		if o.CertEvery <= 0 {
+			o.CertEvery = 8
+		}
+		if o.CertConflictLimit < 0 {
+			o.CertConflictLimit = 0
+		}
+	} else {
+		// The certification knobs only exist on the WCE path; zeroing them
+		// here keeps resolved options a sound cache identity for the other
+		// metrics (WCEBound ≠ 0 is rejected at the boundary anyway).
+		o.CertEvery = 0
+		o.CertConflictLimit = 0
 	}
 	return o
 }
@@ -513,6 +552,21 @@ type Stats struct {
 	// MTrace is the DP-SA self-adaption trajectory: the candidate-set size
 	// M after each dual-phase round. Nil for other flows.
 	MTrace []int
+
+	// WCE certification accounting (Metric == WCE only; zero otherwise).
+	// CertifiedWCE is the SAT-proven worst-case error bound of the returned
+	// circuit: the solver certified that NO input deviates by more than
+	// this, so it holds on all 2^PIs inputs, not just the training
+	// patterns, and never exceeds Options.WCEBound. CertCalls counts SAT
+	// certification calls, CertCexHits the candidate batches refuted by a
+	// cached counterexample without touching the solver, CertRollbacks the
+	// certification failures that rolled the circuit back to its last
+	// certified state, and CertTime the wall clock spent certifying.
+	CertifiedWCE  uint64
+	CertCalls     int
+	CertCexHits   int
+	CertRollbacks int
+	CertTime      time.Duration
 
 	// StopReason tells why the run ended (StopBudget, StopMaxIters,
 	// StopCancelled, StopDeadline). Always set.
@@ -600,6 +654,9 @@ func ApproximateContext(ctx context.Context, c *Circuit, opt Options) (*Result, 
 	iopt.DepthLimit = opt.DepthLimit
 	iopt.M, iopt.N = opt.M, opt.N
 	iopt.MaxIters = opt.MaxIters
+	iopt.WCEBound = opt.WCEBound
+	iopt.CertEvery = opt.CertEvery
+	iopt.CertConflictLimit = opt.CertConflictLimit
 	iopt.TimeLimit = opt.TimeLimit
 	iopt.NoCPMCache = opt.NoCPMCache
 	iopt.NoWarmStart = opt.NoWarmStart
@@ -611,6 +668,17 @@ func ApproximateContext(ctx context.Context, c *Circuit, opt Options) (*Result, 
 	weights := opt.Weights
 	if weights == nil {
 		weights = c.weights
+	}
+	if opt.Metric == WCE {
+		// WCE is defined over the unsigned LSB-first interpretation only:
+		// the SAT certifier proves bounds on that reading, so a weighted
+		// reading would certify the wrong quantity. Reject explicit weights
+		// and ignore the circuit's recommendation rather than silently
+		// certifying something other than what was measured.
+		if opt.Weights != nil {
+			return nil, errors.New("dpals: Metric WCE uses the unsigned LSB-first output interpretation; Weights must be nil")
+		}
+		weights = nil
 	}
 	iopt.Weights = weights
 
@@ -650,6 +718,11 @@ func ApproximateContext(ctx context.Context, c *Circuit, opt Options) (*Result, 
 			EvalMemoHits:         res.Stats.Work.EvalMemoHits,
 			CutUpdates:           res.Stats.CutUpdates,
 			MTrace:               res.Stats.MTrace,
+			CertifiedWCE:         res.Stats.CertifiedWCE,
+			CertCalls:            res.Stats.CertCalls,
+			CertCexHits:          res.Stats.CertCexHits,
+			CertRollbacks:        res.Stats.CertRollbacks,
+			CertTime:             res.Stats.CertTime,
 			StopReason:           res.Stats.StopReason,
 		},
 	}

@@ -11,6 +11,7 @@ import (
 	"dpals/internal/bitvec"
 	"dpals/internal/cpm"
 	"dpals/internal/cut"
+	"dpals/internal/equiv"
 	"dpals/internal/fault"
 	"dpals/internal/lac"
 	"dpals/internal/metric"
@@ -55,6 +56,24 @@ func RunContext(ctx context.Context, g *aig.Graph, opt Options) (*Result, error)
 	}
 	if !opt.LACs.Constants && !opt.LACs.SASIMI {
 		return nil, errors.New("core: no LAC kind enabled")
+	}
+	if opt.Metric == metric.WCE {
+		// The certification miter reads the outputs as one unsigned
+		// LSB-first number; arbitrary weights have no SAT counterpart here.
+		if opt.Weights != nil {
+			return nil, errors.New("core: WCE uses the unsigned LSB-first output interpretation; Weights must be nil")
+		}
+		if g.NumPOs() > 62 {
+			return nil, fmt.Errorf("core: WCE flow limited to 62 outputs, circuit has %d", g.NumPOs())
+		}
+		// The sampled metric and the candidate pruning share the budget
+		// machinery of every other flow: the threshold is the bound.
+		opt.Threshold = float64(opt.WCEBound)
+		if opt.CertEvery <= 0 {
+			opt.CertEvery = 8
+		}
+	} else if opt.WCEBound != 0 {
+		return nil, errors.New("core: WCEBound requires Metric == metric.WCE")
 	}
 	if opt.Patterns <= 0 {
 		opt.Patterns = 8192
@@ -121,6 +140,7 @@ func RunContext(ctx context.Context, g *aig.Graph, opt Options) (*Result, error)
 		// returned without one completed naturally.
 		e.stats.StopReason = StopBudget
 	}
+	e.finalizeWCE()
 	e.stats.Runtime = time.Since(start)
 	e.stats.NodesAfter = e.g.NumAnds()
 	if e.cache != nil {
@@ -171,6 +191,17 @@ type engine struct {
 	targetsBuf []int32 // liveTargets scratch, reused across iterations
 	iter       int     // applied-LAC counter (1-based in callbacks)
 	incCuts    bool    // maintain cuts incrementally on apply (dual-phase flows)
+
+	// WCE-constrained flow state (Metric == metric.WCE; cert is nil
+	// otherwise). lastGood is the most recent SAT-certified state (the
+	// pristine input, trivially certified at 0, until the first checkpoint
+	// passes); pending records every LAC applied since it, in order, for
+	// the rollback-and-replay path of wceCheckpoint; certWCE is the bound
+	// lastGood is proven to satisfy.
+	cert     *equiv.Certifier
+	lastGood snapshot
+	pending  []pendingLAC
+	certWCE  uint64
 
 	// Observability (see internal/obs). root is the run-level span — never
 	// nil, since the no-op tracer still hands out timestamp-only spans the
@@ -287,6 +318,14 @@ func newEngine(orig *aig.Graph, opt Options) (*engine, error) {
 		poScratch: bitvec.NewWords(s.Words()),
 	}
 	e.stats.NodesBefore = g.NumAnds()
+	if opt.Metric == metric.WCE {
+		// Certify against a frozen copy of the (swept) input — sweeping
+		// preserves the function, so a proof against the copy is a proof
+		// against the caller's circuit.
+		e.cert = equiv.NewCertifier(g.Clone())
+		e.cert.Limit = opt.CertConflictLimit
+		e.lastGood = snapshot{g: g.Clone()}
+	}
 	return e, nil
 }
 
@@ -364,6 +403,9 @@ func (e *engine) apply(l lac.LAC) aig.ChangeSet {
 	}
 	e.stats.Applied++
 	e.iter++
+	if e.cert != nil {
+		e.pending = append(e.pending, pendingLAC{l: l, iter: e.iter})
+	}
 	sp.SetInt("target", int64(l.Target))
 	sp.SetFloat("error", e.st.Error())
 	sp.SetInt("ands", int64(e.g.NumAnds()))
@@ -416,12 +458,16 @@ func (e *engine) stopped() bool {
 }
 
 // snapshot captures the full synthesis state for rollback (used by the
-// baselines whose estimates can be wrong: AccALS and depth-limited VECBEE).
+// baselines whose estimates can be wrong — AccALS and depth-limited VECBEE —
+// and by the WCE certification checkpoints). iter is the applied-LAC
+// counter at capture time; restore drops the pending-certification records
+// of everything applied after it.
 type snapshot struct {
-	g *aig.Graph
+	g    *aig.Graph
+	iter int
 }
 
-func (e *engine) snapshot() snapshot { return snapshot{g: e.g.Clone()} }
+func (e *engine) snapshot() snapshot { return snapshot{g: e.g.Clone(), iter: e.iter} }
 
 // restore rolls the engine back to a snapshot, rebuilding the derived
 // state (simulation, metric, cuts, generator) from scratch.
@@ -446,7 +492,155 @@ func (e *engine) restore(sn snapshot) {
 		e.memo.Invalidate() // evaluations reference the replaced state
 	}
 	e.gen = lac.NewGenerator(e.g, e.s, e.opt.LACs)
+	if e.cert != nil {
+		keep := e.pending[:0]
+		for _, p := range e.pending {
+			if p.iter <= sn.iter {
+				keep = append(keep, p)
+			}
+		}
+		e.pending = keep
+	}
 	e.stats.Rollbacks++
+}
+
+// pendingLAC is one LAC applied since the last certified checkpoint of the
+// WCE flow, with the iter it was applied at (for snapshot truncation).
+type pendingLAC struct {
+	l    lac.LAC
+	iter int
+}
+
+// certifyAt runs one SAT certification of the current circuit at bound t,
+// recording the "cert" span and the certification counters. A
+// conflict-budget exhaustion (or any solver error) counts as a failed
+// certification, keeping limited runs deterministic. This is also the
+// skip-wce-cert fault site: the seeded bug claims success without proving
+// anything.
+func (e *engine) certifyAt(t uint64) bool {
+	if e.fire(fault.SkipWCECert) {
+		return true
+	}
+	sp := e.cur.Child("cert")
+	sp.SetInt("bound", int64(t))
+	ok, err := e.cert.CheckAt(e.g, t)
+	sp.SetInt("sat_calls", int64(e.cert.Calls))
+	sp.End()
+	e.stats.CertTime += sp.Duration()
+	e.stats.CertCalls = e.cert.Calls
+	e.stats.CertCexHits = e.cert.CexHits
+	return err == nil && ok
+}
+
+// markCertified records the current state as proven at bound t: it becomes
+// the rollback anchor and the pending records are cleared.
+func (e *engine) markCertified(t uint64) {
+	e.lastGood = snapshot{g: e.g.Clone(), iter: e.iter}
+	e.pending = e.pending[:0]
+	e.certWCE = t
+}
+
+// restoreCertified rolls the engine back to the last certified state,
+// uncounting everything applied since it.
+func (e *engine) restoreCertified() {
+	n := len(e.pending)
+	e.restore(snapshot{g: e.lastGood.g.Clone(), iter: e.lastGood.iter})
+	e.stats.Applied -= n
+	e.iter -= n
+}
+
+// wceCheckpoint is the amortized certification step of the WCE-constrained
+// flow. Flows call it after every accepted LAC; every CertEvery accepted
+// LACs (or when forced, before emit) the running circuit is certified at
+// the bound. On success the state becomes the new rollback anchor; on
+// violation the engine rolls back to the last certified state and replays
+// the pending LACs one by one, certifying each, keeping the longest
+// certified prefix — and reports true, upon which the flow must stop
+// (re-proposing the violating LAC would loop forever: the sampled estimate
+// that admitted it cannot see the violating input).
+func (e *engine) wceCheckpoint(force bool) bool {
+	if e.cert == nil || len(e.pending) == 0 {
+		return false
+	}
+	if !force && len(e.pending) < e.opt.CertEvery {
+		return false
+	}
+	if e.certifyAt(e.opt.WCEBound) {
+		e.markCertified(e.opt.WCEBound)
+		return false
+	}
+	e.wceReplay()
+	return true
+}
+
+// wceReplay is the violation path of wceCheckpoint: back to the last
+// certified state, then re-apply the recorded LACs in order with a
+// certification after each, stopping at (and undoing) the first violator.
+// The cached counterexample that refuted the checkpoint screens the
+// replayed candidates by plain simulation, so the replay typically costs
+// one extra SAT call, not len(pending).
+func (e *engine) wceReplay() {
+	e.stats.CertRollbacks++
+	recs := make([]pendingLAC, len(e.pending))
+	copy(recs, e.pending)
+	e.restoreCertified()
+	for _, r := range recs {
+		l := r.l
+		if !e.g.IsAnd(l.Target) || e.g.IsDead(l.NewLit.Var()) {
+			continue // consumed by an earlier replayed LAC
+		}
+		if !l.IsConst() && e.g.InTFO(l.Target, l.NewLit.Var()) {
+			continue // earlier rewiring made this substitution cyclic
+		}
+		e.apply(l)
+		if e.certifyAt(e.opt.WCEBound) {
+			e.markCertified(e.opt.WCEBound)
+			continue
+		}
+		e.restoreCertified()
+		break
+	}
+}
+
+// finalizeWCE closes out a WCE-constrained run before the final sweep, so
+// that the emitted circuit always carries a proven bound. Cancelled or
+// deadline-stopped runs do no new SAT work: the uncertified tail is rolled
+// back and the last certified state is emitted. Completed runs force a
+// final checkpoint, then tighten CertifiedWCE by binary search between the
+// sampled maximum (a genuine lower bound on the true worst case) and the
+// proven bound — with an unlimited conflict budget the result is the exact
+// worst-case error; with a limited one, inconclusive probes keep the
+// current proven bound.
+func (e *engine) finalizeWCE() {
+	if e.cert == nil {
+		return
+	}
+	if e.stats.StopReason == StopCancelled || e.stats.StopReason == StopDeadline {
+		if len(e.pending) > 0 {
+			e.restoreCertified()
+		}
+		e.stats.CertifiedWCE = e.certWCE
+		return
+	}
+	if len(e.pending) > 0 {
+		e.wceCheckpoint(true)
+	}
+	lo, hi := uint64(0), e.certWCE
+	if sm := e.st.Error(); sm > 0 && hi > 0 {
+		lo = uint64(sm)
+		if lo > hi {
+			lo = hi
+		}
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if e.certifyAt(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	e.stats.CertifiedWCE = hi
 }
 
 // warmStart reports whether the next comprehensive pass may reuse the

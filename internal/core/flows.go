@@ -160,6 +160,12 @@ func (e *engine) runConventional() {
 		if e.opt.OnIteration != nil {
 			e.opt.OnIteration(e.iter, chosen, bests)
 		}
+		if e.wceCheckpoint(false) {
+			// Certification failed: the engine kept the longest certified
+			// prefix; re-proposing the violator would loop forever.
+			e.stats.StopReason = StopBudget
+			return
+		}
 	}
 }
 
@@ -195,6 +201,10 @@ func (e *engine) runVECBEE() {
 		}
 		if e.opt.OnIteration != nil {
 			e.opt.OnIteration(e.iter, chosen, bests)
+		}
+		if e.wceCheckpoint(false) {
+			e.stats.StopReason = StopBudget
+			return
 		}
 	}
 }
@@ -288,6 +298,10 @@ func (e *engine) runAccALS() {
 			if e.opt.OnIteration != nil {
 				e.opt.OnIteration(e.iter, chosen, bests)
 			}
+			if e.wceCheckpoint(false) {
+				e.stats.StopReason = StopBudget
+				return
+			}
 			continue
 		}
 		sn := e.snapshot()
@@ -327,6 +341,10 @@ func (e *engine) runAccALS() {
 			for _, r := range recs {
 				e.opt.OnIteration(r.iter, r.nb, bests)
 			}
+		}
+		if e.wceCheckpoint(false) {
+			e.stats.StopReason = StopBudget
+			return
 		}
 	}
 }
@@ -445,6 +463,10 @@ func (e *engine) dualPhaseRound(round *obs.Span, M, N int, selfAdapt bool) (stop
 	cs := e.apply(chosen.Best.LAC)
 	if e.opt.OnIteration != nil {
 		e.opt.OnIteration(e.iter, chosen, bests)
+	}
+	if e.wceCheckpoint(false) {
+		e.stats.StopReason = StopBudget
+		return true
 	}
 	// Candidate set: the M remaining nodes with the smallest errors,
 	// excluding anything the applied LAC removed.
@@ -582,6 +604,10 @@ func (e *engine) dualPhaseRound(round *obs.Span, M, N int, selfAdapt bool) (stop
 			}
 		}
 		scand = kept
+		if e.wceCheckpoint(false) {
+			e.stats.StopReason = StopBudget
+			return true
+		}
 	}
 	return false
 }

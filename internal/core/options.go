@@ -102,6 +102,25 @@ type Options struct {
 	MaxMulti int     // max LACs per iteration (≤0: 10)
 	AccTol   float64 // allowed relative deviation estimate vs real (≤0: 0.05)
 
+	// WCE-constrained flow (Metric == metric.WCE). WCEBound is the
+	// worst-case error bound to certify: phase-1 analyses prune candidates
+	// by a sampled worst-case upper-bound estimate, and a SAT certification
+	// (equiv.WCEAtMost against the input circuit) amortized over every
+	// CertEvery accepted LACs — and always before emit — proves the bound,
+	// rolling back to the last certified state on violation. For WCE the
+	// error budget is WCEBound (Threshold is derived from it) and the
+	// outputs are read as an unsigned LSB-first number (Weights must be
+	// nil, ≤ 62 outputs).
+	WCEBound uint64
+	// CertEvery is the certification amortization interval K: a SAT check
+	// runs after every K accepted LACs (≤0: 8). Smaller K certifies more
+	// often and rolls back less work per violation.
+	CertEvery int
+	// CertConflictLimit caps the SAT conflicts of each certification call
+	// (0 = unlimited). An exhausted budget counts as a failed certification
+	// — the engine rolls back — so limited runs stay deterministic.
+	CertConflictLimit int64
+
 	// MaxIters caps the number of applied LACs (safety; ≤0 = unlimited).
 	MaxIters int
 
@@ -293,6 +312,21 @@ type Stats struct {
 	// (dual-phase flows with the cache enabled; zero otherwise) —
 	// deterministic like Work, see bitvec.PoolStats.
 	Pool bitvec.PoolStats
+
+	// WCE-constrained flow accounting (Metric == metric.WCE; zero
+	// otherwise). CertifiedWCE is the SAT-proven worst-case error bound of
+	// the returned circuit — every emitted circuit is certified, even on
+	// cancellation (the uncertified tail is rolled back instead of running
+	// new SAT work). CertCalls counts SAT certification calls, CertCexHits
+	// the certifications refuted by a cached counterexample without solver
+	// work, CertRollbacks the checkpoint failures that triggered the
+	// rollback-and-replay path, and CertTime the summed duration of the
+	// "cert" obs spans.
+	CertifiedWCE  uint64
+	CertCalls     int
+	CertCexHits   int
+	CertRollbacks int
+	CertTime      time.Duration
 
 	// StopReason tells why the run ended (budget, max-iters, cancelled,
 	// deadline). Always set by Run/RunContext.

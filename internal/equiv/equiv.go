@@ -123,6 +123,17 @@ func buildWCEMiter(orig, approx *aig.Graph, t uint64) *aig.Graph {
 // orig (unsigned LSB-first output interpretation) is at most t for every
 // input. On failure it returns a violating input assignment.
 func WCEAtMost(orig, approx *aig.Graph, t uint64) (bool, []bool, error) {
+	return wceAtMost(orig, approx, t, 0)
+}
+
+// ErrBudget reports that a conflict-limited certification call ran out of
+// budget before reaching a verdict. The WCE flow treats it as a failed
+// certification (roll back), which keeps runs deterministic.
+var ErrBudget = errors.New("equiv: certification conflict budget exhausted")
+
+// wceAtMost is WCEAtMost with a conflict budget (0 = unlimited); hitting
+// the budget returns ErrBudget.
+func wceAtMost(orig, approx *aig.Graph, t uint64, limit int64) (bool, []bool, error) {
 	if orig.NumPIs() != approx.NumPIs() || orig.NumPOs() != approx.NumPOs() {
 		return false, nil, errors.New("equiv: interface mismatch")
 	}
@@ -138,6 +149,7 @@ func WCEAtMost(orig, approx *aig.Graph, t uint64) (bool, []bool, error) {
 	}
 	m := buildWCEMiter(orig, approx, t)
 	s := sat.New()
+	s.MaxConflicts = limit
 	piVars := make([]int, m.NumPIs())
 	for i := range piVars {
 		piVars[i] = s.NewVar()
@@ -156,7 +168,111 @@ func WCEAtMost(orig, approx *aig.Graph, t uint64) (bool, []bool, error) {
 		}
 		return false, cex, nil
 	}
+	if limit > 0 {
+		return false, nil, ErrBudget
+	}
 	return false, nil, errors.New("equiv: solver limit reached")
+}
+
+// evalOutputs evaluates g on one input assignment and returns the PO
+// vector read as an unsigned LSB-first integer (≤ 63 POs).
+func evalOutputs(g *aig.Graph, pi []bool) uint64 {
+	vals := make([]bool, g.NumVars())
+	for i, v := range g.PIs() {
+		vals[v] = pi[i]
+	}
+	lit := func(l aig.Lit) bool {
+		v := vals[l.Var()]
+		if l.IsCompl() {
+			return !v
+		}
+		return v
+	}
+	for _, v := range g.Topo() {
+		if g.Type(v) != aig.TypeAnd {
+			continue
+		}
+		f0, f1 := g.Fanins(v)
+		vals[v] = lit(f0) && lit(f1)
+	}
+	var out uint64
+	for o, po := range g.POs() {
+		if lit(po) {
+			out |= 1 << uint(o)
+		}
+	}
+	return out
+}
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// maxCertCexs bounds the Certifier's counterexample cache; beyond it the
+// oldest entries are dropped (newer cexs track the current circuit best).
+const maxCertCexs = 64
+
+// certCex is one cached violating input with the reference circuit's
+// output value on it (the reference never changes, the approximation does).
+type certCex struct {
+	pi      []bool
+	origVal uint64
+}
+
+// Certifier is the incremental certification entry point of the
+// WCE-constrained flow: repeated bound checks of an evolving approximate
+// circuit against one fixed reference. Counterexamples from failed calls
+// are cached and replayed by direct simulation before any SAT work — a
+// LAC batch that re-violates an already-seen input is refuted without
+// touching the solver, which is what keeps the amortized certification
+// cheap across rollback/re-apply cycles.
+//
+// The reference graph is captured by reference; the caller must not
+// mutate it. A Certifier is not safe for concurrent use.
+type Certifier struct {
+	orig *aig.Graph
+
+	// Limit caps the SAT conflicts of each certification call; 0 means
+	// unlimited. An exhausted budget surfaces as ErrBudget.
+	Limit int64
+
+	// Calls counts SAT solver invocations; CexHits counts certifications
+	// refuted by a cached counterexample with no solver work.
+	Calls   int
+	CexHits int
+
+	cexs []certCex
+}
+
+// NewCertifier builds a certifier against the reference circuit orig.
+func NewCertifier(orig *aig.Graph) *Certifier { return &Certifier{orig: orig} }
+
+// CheckAt reports whether approx's worst-case error against the reference
+// is at most t. Cached counterexamples are screened by simulation first;
+// only then does a (conflict-limited) SAT call decide.
+func (c *Certifier) CheckAt(approx *aig.Graph, t uint64) (bool, error) {
+	for i := range c.cexs {
+		av := evalOutputs(approx, c.cexs[i].pi)
+		if absDiff(c.cexs[i].origVal, av) > t {
+			c.CexHits++
+			return false, nil
+		}
+	}
+	ok, cex, err := wceAtMost(c.orig, approx, t, c.Limit)
+	c.Calls++
+	if err != nil {
+		return false, err
+	}
+	if !ok && cex != nil {
+		if len(c.cexs) >= maxCertCexs {
+			c.cexs = append(c.cexs[:0], c.cexs[1:]...)
+		}
+		c.cexs = append(c.cexs, certCex{pi: cex, origVal: evalOutputs(c.orig, cex)})
+	}
+	return ok, nil
 }
 
 // WorstCaseError computes the exact worst-case numeric error by binary

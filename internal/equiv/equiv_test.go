@@ -1,10 +1,11 @@
-package equiv
+package equiv_test
 
 import (
 	"testing"
 
 	"dpals/internal/aig"
 	"dpals/internal/core"
+	"dpals/internal/equiv"
 	"dpals/internal/gen"
 	"dpals/internal/metric"
 )
@@ -33,14 +34,14 @@ func evalPO(g *aig.Graph, in []bool) []bool {
 func TestEquivalentArchitectures(t *testing.T) {
 	// Ripple and Kogge-Stone adders compute the same function; so do the
 	// array and Wallace multipliers.
-	eq, _, err := Equivalent(gen.Adder(8), gen.KoggeStoneAdder(8))
+	eq, _, err := equiv.Equivalent(gen.Adder(8), gen.KoggeStoneAdder(8))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !eq {
 		t.Error("adder architectures not proven equivalent")
 	}
-	eq, _, err = Equivalent(gen.MultU(5, 5), gen.WallaceMultiplier(5, 5))
+	eq, _, err = equiv.Equivalent(gen.MultU(5, 5), gen.WallaceMultiplier(5, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestInequivalentWithCounterexample(t *testing.T) {
 	// Break one output: complement the LSB.
 	b := a.Clone()
 	b.SetPO(0, b.PO(0).Not())
-	eq, cex, err := Equivalent(a, b)
+	eq, cex, err := equiv.Equivalent(a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestInequivalentWithCounterexample(t *testing.T) {
 
 func TestSelfEquivalenceAfterRoundtrips(t *testing.T) {
 	g := gen.ALU(4)
-	eq, _, err := Equivalent(g, g.Sweep())
+	eq, _, err := equiv.Equivalent(g, g.Sweep())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestWCEAtMostExactOnSmall(t *testing.T) {
 		}
 	}
 
-	got, err := WorstCaseError(orig, approx)
+	got, err := equiv.WorstCaseError(orig, approx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestWCEAtMostExactOnSmall(t *testing.T) {
 	}
 	// Certification must agree on both sides of the exact value.
 	if wceTruth > 0 {
-		ok, _, err := WCEAtMost(orig, approx, wceTruth-1)
+		ok, _, err := equiv.WCEAtMost(orig, approx, wceTruth-1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -137,7 +138,7 @@ func TestWCEAtMostExactOnSmall(t *testing.T) {
 			t.Error("certified below the true WCE")
 		}
 	}
-	ok, cex, err := WCEAtMost(orig, approx, wceTruth)
+	ok, cex, err := equiv.WCEAtMost(orig, approx, wceTruth)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestWCEAtMostExactOnSmall(t *testing.T) {
 
 func TestWCEZeroForIdenticalCircuits(t *testing.T) {
 	g := gen.Adder(6)
-	wce, err := WorstCaseError(g, g.Clone())
+	wce, err := equiv.WorstCaseError(g, g.Clone())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -55,8 +55,8 @@ func TestNthZeroBehavesLikeFirst(t *testing.T) {
 
 func TestKindsStable(t *testing.T) {
 	a, b := Kinds(), Kinds()
-	if len(a) != 7 {
-		t.Fatalf("want 7 kinds, got %d", len(a))
+	if len(a) != 8 {
+		t.Fatalf("want 8 kinds, got %d", len(a))
 	}
 	seen := map[Kind]bool{}
 	for i := range a {

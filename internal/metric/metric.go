@@ -30,6 +30,7 @@ const (
 	MSE             // mean squared numeric error
 	MED             // mean absolute numeric error (error distance)
 	MHD             // mean Hamming distance: average number of wrong output bits
+	WCE             // worst-case numeric error: max |approx − exact| over patterns
 )
 
 func (k Kind) String() string {
@@ -42,13 +43,15 @@ func (k Kind) String() string {
 		return "MED"
 	case MHD:
 		return "MHD"
+	case WCE:
+		return "WCE"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
 // Numeric reports whether the metric interprets outputs as a weighted
 // number (and therefore requires Weights).
-func (k Kind) Numeric() bool { return k == MSE || k == MED }
+func (k Kind) Numeric() bool { return k == MSE || k == MED || k == WCE }
 
 // Weights assigns a numeric weight to each primary output for MSE/MED.
 // ER ignores weights.
@@ -133,6 +136,12 @@ type State struct {
 	errCount int     // ER: patterns with ≥1 mismatching PO
 	mismSum  int64   // MHD: Σ mism
 
+	// wceMax caches max |dev| over all patterns for WCE. CommitPO keeps it
+	// current (rescanning when a pattern at the max shrinks), so Error stays
+	// a pure read and concurrent Evaluators remain safe.
+	wceMax   float64
+	wceDirty bool
+
 	def *Evaluator // lazily created default evaluator for EvalLAC
 }
 
@@ -162,7 +171,7 @@ func (st *State) NewEvaluator() *Evaluator {
 // start identical to the reference. weights may be nil for ER.
 func NewState(kind Kind, exact []bitvec.Vec, weights Weights, patterns int) *State {
 	if kind.Numeric() && len(weights) != len(exact) {
-		panic("metric: weights must match PO count for MSE/MED")
+		panic("metric: weights must match PO count for numeric metrics")
 	}
 	words := 0
 	if len(exact) > 0 {
@@ -191,7 +200,9 @@ func (st *State) Kind() Kind { return st.kind }
 // Patterns returns the number of tracked patterns.
 func (st *State) Patterns() int { return st.patterns }
 
-// Error returns the current error of the approximate circuit.
+// Error returns the current error of the approximate circuit. For WCE it
+// is the sampled maximum deviation — a lower bound on the true worst case,
+// which is why the WCE flow pairs it with SAT certification.
 func (st *State) Error() float64 {
 	x := float64(st.patterns)
 	switch st.kind {
@@ -199,6 +210,8 @@ func (st *State) Error() float64 {
 		return float64(st.errCount) / x
 	case MHD:
 		return float64(st.mismSum) / x
+	case WCE:
+		return st.wceMax
 	default:
 		return st.errSum / x
 	}
@@ -280,7 +293,7 @@ func (ev *Evaluator) evalFlips(a, b bitvec.Vec, inv uint64, row *cpm.Row) float6
 		return float64(sum) / x
 	}
 	ev.touched = ev.touched[:0]
-	numeric := st.kind == MSE || st.kind == MED
+	numeric := st.kind.Numeric()
 	for ri, o := range row.POs {
 		p := row.Diffs[ri]
 		if numeric {
@@ -318,6 +331,15 @@ func (ev *Evaluator) evalFlips(a, b bitvec.Vec, inv uint64, row *cpm.Row) float6
 			sum += math.Abs(nd) - math.Abs(st.dev[i])
 		}
 		out = sum / x
+	case WCE:
+		// Upper bound on the post-apply sampled max: touched patterns are
+		// scored exactly, untouched ones are bounded by the current max.
+		out = st.wceMax
+		for _, i := range ev.touched {
+			if nd := math.Abs(st.dev[i] + ev.delta[i]); nd > out {
+				out = nd
+			}
+		}
 	}
 	// Reset scratch.
 	for _, i := range ev.touched {
@@ -431,15 +453,35 @@ func (st *State) CommitPO(o int, newVal bitvec.Vec) {
 			} else {
 				old := st.dev[i]
 				st.dev[i] += st.flipDelta(int(o), curBit)
-				if st.kind == MSE {
+				switch st.kind {
+				case MSE:
 					st.errSum += st.dev[i]*st.dev[i] - old*old
-				} else {
+				case WCE:
+					if na := math.Abs(st.dev[i]); na >= st.wceMax {
+						st.wceMax = na
+					} else if math.Abs(old) == st.wceMax {
+						st.wceDirty = true
+					}
+				default:
 					st.errSum += math.Abs(st.dev[i]) - math.Abs(old)
 				}
 			}
 			d &= d - 1
 		}
 		curW[wi] = newVal[wi]
+	}
+	if st.wceDirty {
+		// A pattern that carried the max shrank; rescan. Done here (not
+		// lazily in Error) so Error stays read-only under concurrent
+		// evaluation.
+		st.wceDirty = false
+		m := 0.0
+		for _, dv := range st.dev {
+			if a := math.Abs(dv); a > m {
+				m = a
+			}
+		}
+		st.wceMax = m
 	}
 }
 
@@ -470,6 +512,7 @@ func Compute(kind Kind, weights Weights, exact, approx []bitvec.Vec, patterns in
 		return float64(bits) / x
 	default:
 		sum := 0.0
+		maxAbs := 0.0
 		for i := 0; i < patterns; i++ {
 			dev := 0.0
 			for o := range exact {
@@ -483,11 +526,19 @@ func Compute(kind Kind, weights Weights, exact, approx []bitvec.Vec, patterns in
 					}
 				}
 			}
-			if kind == MSE {
+			switch kind {
+			case MSE:
 				sum += dev * dev
-			} else {
+			case WCE:
+				if a := math.Abs(dev); a > maxAbs {
+					maxAbs = a
+				}
+			default:
 				sum += math.Abs(dev)
 			}
+		}
+		if kind == WCE {
+			return maxAbs
 		}
 		return sum / x
 	}

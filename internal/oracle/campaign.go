@@ -38,6 +38,14 @@ type RunSpec struct {
 	// twin is a differential check on the whole reuse layer.
 	NoWarmStart bool `json:"noWarmStart,omitempty"`
 
+	// WCE-constrained flow (Metric == metric.WCE): the certified bound,
+	// the certification amortization interval, and the per-call SAT
+	// conflict cap (0 = unlimited). Threshold is derived from WCEBound by
+	// the engine; keep spec.Threshold = float64(WCEBound) for readability.
+	WCEBound          uint64 `json:"wceBound,omitempty"`
+	CertEvery         int    `json:"certEvery,omitempty"`
+	CertConflictLimit int64  `json:"certConflictLimit,omitempty"`
+
 	// CancelAfter > 0 cancels the run's context right after the N-th
 	// applied LAC, exercising the best-so-far exit paths.
 	CancelAfter int `json:"cancelAfter,omitempty"`
@@ -60,6 +68,9 @@ func (s RunSpec) Options() core.Options {
 	opt.MaxIters = s.MaxIters
 	opt.NoCPMCache = s.NoCPMCache
 	opt.NoWarmStart = s.NoWarmStart
+	opt.WCEBound = s.WCEBound
+	opt.CertEvery = s.CertEvery
+	opt.CertConflictLimit = s.CertConflictLimit
 	if s.Fault != fault.None && s.Fault != "" {
 		opt.Fault = fault.New(s.Fault, s.FaultNth)
 	}
@@ -199,15 +210,49 @@ func Verify(orig *aig.Graph, spec RunSpec, res *core.Result) []Violation {
 			"run reported %v but recomputing on its own patterns gives %v (Δ=%v)",
 			res.Error, recomputed, d)})
 	}
-	if recomputed > spec.Threshold+tol(recomputed, spec.Threshold) {
+	// For WCE specs the budget is the certified bound; Threshold is derived.
+	thr := spec.Threshold
+	if spec.Metric == metric.WCE {
+		thr = float64(spec.WCEBound)
+		if res.Stats.CertifiedWCE > spec.WCEBound {
+			out = append(out, Violation{Check: "wce-cert-bound", Detail: fmt.Sprintf(
+				"certified WCE %d exceeds the requested bound %d", res.Stats.CertifiedWCE, spec.WCEBound)})
+		}
+		// The sampled max is a lower bound on the true worst case, which
+		// the certificate claims to upper-bound: sampled > certified means
+		// the certificate is provably false on the training patterns alone.
+		if recomputed > float64(res.Stats.CertifiedWCE)+tol(recomputed, float64(res.Stats.CertifiedWCE)) {
+			out = append(out, Violation{Check: "wce-sampled-vs-certified", Detail: fmt.Sprintf(
+				"sampled worst case %v exceeds the certified bound %d", recomputed, res.Stats.CertifiedWCE)})
+		}
+	}
+	if recomputed > thr+tol(recomputed, thr) {
 		out = append(out, Violation{Check: "budget", Detail: fmt.Sprintf(
 			"sampled error %v exceeds threshold %v (stop=%s)",
-			recomputed, spec.Threshold, res.Stats.StopReason)})
+			recomputed, thr, res.Stats.StopReason)})
 	}
 	if orig.NumPIs() <= MaxPIs {
 		ex, err := Exact(orig, res.Graph, opt.Weights)
 		if err != nil {
 			out = append(out, Violation{Check: "exact", Detail: err.Error()})
+		} else if spec.Metric == metric.WCE {
+			// The certificate must hold against the exhaustive truth: a run
+			// that claims CertifiedWCE but emits a circuit whose true worst
+			// case exceeds it skipped (or botched) its certification — the
+			// skip-wce-cert detection signal.
+			if ex.WCEOK && ex.WCE > res.Stats.CertifiedWCE {
+				out = append(out, Violation{Check: "wce-cert-unsound", Detail: fmt.Sprintf(
+					"true worst-case error %d exceeds the certified bound %d", ex.WCE, res.Stats.CertifiedWCE)})
+			}
+			if spec.Exhaustive && ex.WCEOK {
+				if d := math.Abs(res.Error - float64(ex.WCE)); d > tol(res.Error, float64(ex.WCE)) {
+					out = append(out, Violation{Check: "exact-bound", Detail: fmt.Sprintf(
+						"exhaustive run reported WCE %v but enumeration gives %d", res.Error, ex.WCE)})
+				}
+			}
+			// No Hoeffding check: a sampled maximum is not a mean, so the
+			// concentration bound does not apply — the certificate checks
+			// above are strictly stronger anyway.
 		} else {
 			truth := ex.Get(spec.Metric)
 			if spec.Exhaustive {
@@ -426,6 +471,62 @@ func CheckBudgetMonotonic(g *aig.Graph, spec RunSpec, thresholds []float64) []Vi
 		}
 		prevApplied = res.Stats.Applied
 		prevThr = t
+	}
+	return out
+}
+
+// CheckWCEBoundMonotonic runs the WCE-constrained conventional flow at each
+// bound (must be sorted ascending) and checks the metamorphic property that
+// loosening the bound is monotone in achievable area savings: the greedy
+// candidate ranking is bound-independent and a certification that fails at
+// bound B fails at every smaller bound, so a run at a larger bound applies
+// a superset prefix — its applied count is non-decreasing and its emitted
+// gate count non-increasing. Like CheckBudgetMonotonic this is a theorem
+// only for FlowConventional (dual-phase trajectories are
+// threshold-dependent), and only with an unlimited certification conflict
+// budget (an exhausted budget at one bound says nothing about another).
+func CheckWCEBoundMonotonic(g *aig.Graph, spec RunSpec, bounds []uint64) []Violation {
+	if spec.Flow != core.FlowConventional {
+		return []Violation{{Check: "wce-monotonic-misuse", Detail: "WCE-bound monotonicity only holds for the conventional flow"}}
+	}
+	if spec.CertConflictLimit != 0 {
+		return []Violation{{Check: "wce-monotonic-misuse", Detail: "conflict-limited certification is not monotone in the bound"}}
+	}
+	var out []Violation
+	prevApplied := -1
+	prevGates := -1
+	var prevBound uint64
+	first := true
+	for _, b := range bounds {
+		if !first && b < prevBound {
+			return append(out, Violation{Check: "wce-monotonic-misuse", Detail: "bounds must be ascending"})
+		}
+		s := spec
+		s.Metric = metric.WCE
+		s.WCEBound = b
+		s.Threshold = float64(b)
+		res, _, err := Execute(g, s)
+		if err != nil {
+			return append(out, Violation{Check: "wce-monotonic-run", Detail: err.Error()})
+		}
+		if vs := Verify(g, s, res); len(vs) > 0 {
+			out = append(out, vs...)
+		}
+		if res.Stats.Applied < prevApplied {
+			out = append(out, Violation{Check: "wce-bound-monotonic", Detail: fmt.Sprintf(
+				"bound %d applied %d LACs, tighter bound %d applied %d",
+				b, res.Stats.Applied, prevBound, prevApplied)})
+		}
+		gates := res.Graph.NumAnds()
+		if prevGates >= 0 && gates > prevGates {
+			out = append(out, Violation{Check: "wce-area-monotonic", Detail: fmt.Sprintf(
+				"bound %d emitted %d gates, tighter bound %d emitted %d",
+				b, gates, prevBound, prevGates)})
+		}
+		prevApplied = res.Stats.Applied
+		prevGates = gates
+		prevBound = b
+		first = false
 	}
 	return out
 }

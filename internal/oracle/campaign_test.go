@@ -41,17 +41,42 @@ func baseSpecs() []RunSpec {
 	}
 }
 
+// wceFaultSpecs are the WCE-constrained configurations for the fault
+// scan. The sample is deliberately thin (64 patterns): on these small
+// circuits a dense sample nearly always contains the true worst-case
+// input, which makes a skipped certification (skip-wce-cert) exactly
+// score-equivalent — the sampled maximum already IS the true worst case.
+// Only a sample that misses the worst input lets the wce-cert-unsound
+// cross-check observe the missing proof. Bound depends on the bed's
+// output count, so these are built per circuit.
+func wceFaultSpecs(g *aig.Graph) []RunSpec {
+	b := uint64(metric.ReferenceError(g.NumPOs()))
+	if b == 0 {
+		b = 1
+	}
+	return []RunSpec{
+		{Flow: core.FlowDP, Metric: metric.WCE, WCEBound: b, Threshold: float64(b), Patterns: 64, Seed: 2, Threads: 1, MaxIters: 30},
+		{Flow: core.FlowConventional, Metric: metric.WCE, WCEBound: b, Threshold: float64(b), Patterns: 64, Seed: 3, Threads: 1, MaxIters: 30},
+	}
+}
+
 // TestFaultDetectionAllKinds is the harness's self-test: every fault kind
 // the engine can seed must be caught by at least one cross-check on at
 // least one (circuit, configuration, site) combination. A kind no check
 // can see means the oracle has a blind spot for that whole class of bug.
 func TestFaultDetectionAllKinds(t *testing.T) {
 	beds := testbeds()
-	specs := baseSpecs()
 	for _, kind := range fault.Kinds() {
 		kind := kind
 		t.Run(string(kind), func(t *testing.T) {
 			for _, g := range beds {
+				specs := baseSpecs()
+				// skip-wce-cert only fires on the WCE certification path.
+				if kind == fault.SkipWCECert {
+					specs = wceFaultSpecs(g)
+				} else {
+					specs = append(specs, wceFaultSpecs(g)...)
+				}
 				for _, spec := range specs {
 					det, nth := ScanFault(g, spec, kind, 25)
 					if det.Detected {
@@ -69,7 +94,7 @@ func TestFaultDetectionAllKinds(t *testing.T) {
 // flow must produce zero violations, or the harness cries wolf.
 func TestCleanRunsPassAllChecks(t *testing.T) {
 	g := gen.Random(3, 8, 6, 60)
-	for _, spec := range baseSpecs() {
+	for _, spec := range append(baseSpecs(), wceFaultSpecs(g)...) {
 		res, plan, err := Execute(g, spec)
 		if err != nil {
 			t.Fatalf("%s: %v", spec.Flow, err)

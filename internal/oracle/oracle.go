@@ -54,6 +54,9 @@ func (m Metrics) Get(k metric.Kind) float64 {
 		return m.MSE
 	case metric.MHD:
 		return m.MHD
+	case metric.WCE:
+		// Meaningful only when WCEOK; callers on the WCE path guard on it.
+		return float64(m.WCE)
 	}
 	panic("oracle: unknown metric kind")
 }

@@ -18,6 +18,9 @@ type cachedResult struct {
 	adpRatio   float64
 	applied    int
 	stopReason string
+
+	certifiedWCE uint64 // SAT-certified worst-case bound (WCE jobs only)
+	certCalls    int
 }
 
 func (r *cachedResult) size() int64 { return int64(len(r.circuit)) + 128 }

@@ -23,9 +23,21 @@ type JobRequest struct {
 	Format  string `json:"format,omitempty"`
 
 	Flow      string    `json:"flow,omitempty"`   // conventional|vecbee|accals|dp|dpsa (default dpsa)
-	Metric    string    `json:"metric,omitempty"` // er|mse|med|mhd (default er)
+	Metric    string    `json:"metric,omitempty"` // er|mse|med|mhd|wce (default er)
 	Threshold float64   `json:"threshold"`
 	Weights   []float64 `json:"weights,omitempty"`
+
+	// WCE jobs (metric "wce"): WCEBound is the SAT-certified worst-case
+	// error budget, CertEvery the certification amortisation interval (0 =
+	// default 8), and CertConflictLimit the per-certification SAT conflict
+	// cap. The server REQUIRES CertConflictLimit ≥ 1 for WCE jobs: an
+	// uncapped certification call cannot be cancelled cooperatively, so
+	// whether such a job completes or hits its deadline would depend on
+	// wall clock — which would make the result uncacheable and the worker
+	// pool unboundable.
+	WCEBound          uint64 `json:"wce_bound,omitempty"`
+	CertEvery         int    `json:"cert_every,omitempty"`
+	CertConflictLimit int64  `json:"cert_conflict_limit,omitempty"`
 
 	Patterns           int       `json:"patterns,omitempty"`
 	Seed               int64     `json:"seed,omitempty"`
@@ -74,6 +86,11 @@ type JobResponse struct {
 	ADPRatio   float64 `json:"adp_ratio"`
 	Applied    int     `json:"applied"`
 	StopReason string  `json:"stop_reason"`
+
+	// WCE jobs only: the SAT-certified worst-case error bound of the
+	// returned circuit and the number of certification calls spent.
+	CertifiedWCE uint64 `json:"certified_wce,omitempty"`
+	CertCalls    int    `json:"cert_calls,omitempty"`
 
 	QueueMS float64 `json:"queue_ms"`
 	RunMS   float64 `json:"run_ms"`
@@ -155,12 +172,28 @@ func parseJob(req *JobRequest) (*dpals.Circuit, dpals.Options, error) {
 	if req.Exhaustive && c.NumInputs() > 24 {
 		return nil, dpals.Options{}, fmt.Errorf("exhaustive simulation limited to 24 inputs, circuit has %d", c.NumInputs())
 	}
+	if metric == dpals.WCE {
+		if req.Weights != nil {
+			return nil, dpals.Options{}, fmt.Errorf("metric wce uses the unsigned LSB-first output interpretation; weights must be omitted")
+		}
+		if c.NumOutputs() > 62 {
+			return nil, dpals.Options{}, fmt.Errorf("metric wce limited to 62 outputs, circuit has %d", c.NumOutputs())
+		}
+		if req.CertConflictLimit < 1 {
+			return nil, dpals.Options{}, fmt.Errorf("metric wce requires cert_conflict_limit ≥ 1: an uncapped SAT certification call cannot be cancelled, so the job could overrun its deadline unboundedly")
+		}
+	} else if req.WCEBound != 0 {
+		return nil, dpals.Options{}, fmt.Errorf("wce_bound requires metric wce")
+	}
 
 	opt := dpals.Options{
 		Flow:               flow,
 		Metric:             metric,
 		Threshold:          req.Threshold,
 		Weights:            req.Weights,
+		WCEBound:           req.WCEBound,
+		CertEvery:          req.CertEvery,
+		CertConflictLimit:  req.CertConflictLimit,
 		Patterns:           req.Patterns,
 		Seed:               req.Seed,
 		Exhaustive:         req.Exhaustive,
@@ -195,7 +228,7 @@ func cacheKey(c *dpals.Circuit, opt dpals.Options) string {
 	}
 	f64 := func(v float64) { u64(math.Float64bits(v)) }
 
-	h.Write([]byte("alsd-key-v1\x00"))
+	h.Write([]byte("alsd-key-v2\x00"))
 	d := c.Graph().StructuralDigest()
 	h.Write(d[:])
 
@@ -211,6 +244,14 @@ func cacheKey(c *dpals.Circuit, opt dpals.Options) string {
 	u64(uint64(opt.Flow))
 	u64(uint64(opt.Metric))
 	f64(opt.Threshold)
+	// The WCE certification knobs all influence the result bits: the bound
+	// is the budget itself, CertEvery moves the certification checkpoints
+	// (and therefore which rollback path a violating batch takes), and the
+	// conflict cap decides where a budget-exhausted run halts. Keyed even
+	// for non-WCE metrics, where Resolved zeroes them.
+	u64(opt.WCEBound)
+	u64(uint64(opt.CertEvery))
+	u64(uint64(opt.CertConflictLimit))
 	u64(uint64(opt.Patterns))
 	u64(uint64(opt.Seed))
 	if opt.Exhaustive {

@@ -202,6 +202,9 @@ func (s *Server) runJob(j *job) {
 		adpRatio:   res.ADPRatio,
 		applied:    res.Stats.Applied,
 		stopReason: string(res.Stats.StopReason),
+
+		certifiedWCE: res.Stats.CertifiedWCE,
+		certCalls:    res.Stats.CertCalls,
 	}
 	// Only deterministic completions are content-addressable: a cancelled
 	// or deadline-stopped run reflects wall clock and client behaviour,
@@ -233,8 +236,11 @@ func (s *Server) response(j *job, res *cachedResult, cacheState string, queueWai
 		ADPRatio:   res.adpRatio,
 		Applied:    res.applied,
 		StopReason: res.stopReason,
-		QueueMS:    float64(queueWait) / float64(time.Millisecond),
-		RunMS:      float64(runTime) / float64(time.Millisecond),
+
+		CertifiedWCE: res.certifiedWCE,
+		CertCalls:    res.certCalls,
+		QueueMS:      float64(queueWait) / float64(time.Millisecond),
+		RunMS:        float64(runTime) / float64(time.Millisecond),
 	}
 }
 

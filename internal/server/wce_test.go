@@ -1,0 +1,128 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"dpals"
+)
+
+func wceJob(t *testing.T, bound uint64) map[string]any {
+	return map[string]any{
+		"circuit":             circuitAIGER(t, dpals.NewAdder(4)),
+		"flow":                "dp",
+		"metric":              "wce",
+		"wce_bound":           bound,
+		"cert_conflict_limit": 100000,
+		"patterns":            512,
+	}
+}
+
+// The server must refuse WCE jobs whose SAT certification budget is
+// uncapped: such a call cannot be cancelled cooperatively, so whether the
+// job completes or hits its deadline would depend on wall clock — an
+// uncacheable, unboundable job.
+func TestServerRejectsUncappedWCECert(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	job := wceJob(t, 2)
+	delete(job, "cert_conflict_limit")
+	code, _ := submit(t, ts, job)
+	if code != http.StatusBadRequest {
+		t.Fatalf("WCE job without cert_conflict_limit: status %d, want 400", code)
+	}
+	job["cert_conflict_limit"] = 0
+	if code, _ := submit(t, ts, job); code != http.StatusBadRequest {
+		t.Fatalf("WCE job with cert_conflict_limit 0: status %d, want 400", code)
+	}
+	job["cert_conflict_limit"] = -5
+	if code, _ := submit(t, ts, job); code != http.StatusBadRequest {
+		t.Fatalf("WCE job with negative cert_conflict_limit: status %d, want 400", code)
+	}
+
+	// Weighted WCE and wce_bound on another metric are config errors too.
+	wj := wceJob(t, 2)
+	wj["weights"] = []float64{1, 2, 4, 8, 16}
+	if code, _ := submit(t, ts, wj); code != http.StatusBadRequest {
+		t.Fatalf("weighted WCE job: status %d, want 400", code)
+	}
+	ej := smallJob(t, 1)
+	ej["wce_bound"] = 3
+	if code, _ := submit(t, ts, ej); code != http.StatusBadRequest {
+		t.Fatalf("wce_bound on metric er: status %d, want 400", code)
+	}
+}
+
+// A completed WCE job answers with a certified bound within budget and is
+// served from the cache — certified bound included — on resubmission.
+func TestServerWCEJobCertifiedAndCached(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, first := submit(t, ts, wceJob(t, 3))
+	if code != http.StatusOK {
+		t.Fatalf("WCE job: status %d", code)
+	}
+	if first.Cache != "miss" {
+		t.Fatalf("first WCE submission cache = %q, want miss", first.Cache)
+	}
+	if first.CertifiedWCE > 3 {
+		t.Fatalf("certified_wce %d exceeds wce_bound 3", first.CertifiedWCE)
+	}
+	if first.Applied > 0 && first.CertCalls == 0 {
+		t.Fatal("applied LACs but report zero certification calls")
+	}
+	code, second := submit(t, ts, wceJob(t, 3))
+	if code != http.StatusOK || second.Cache != "hit" {
+		t.Fatalf("resubmission: status %d cache %q, want 200/hit", code, second.Cache)
+	}
+	if second.Circuit != first.Circuit || second.CertifiedWCE != first.CertifiedWCE || second.CertCalls != first.CertCalls {
+		t.Fatal("cache hit lost or altered the certified WCE result")
+	}
+}
+
+// Cache-key regression (the satellite): the key must separate jobs that
+// differ only in a WCE certification knob — each knob influences the
+// result bits, so a shared entry would poison results.
+func TestServerWCEOptionsInCacheKey(t *testing.T) {
+	c := dpals.NewAdder(4)
+	base := dpals.Options{
+		Flow:              dpals.DP,
+		Metric:            dpals.WCE,
+		WCEBound:          2,
+		CertConflictLimit: 100000,
+		Patterns:          512,
+	}
+	k0 := cacheKey(c, base)
+
+	bound := base
+	bound.WCEBound = 3
+	if cacheKey(c, bound) == k0 {
+		t.Fatal("cache key ignores WCEBound")
+	}
+	every := base
+	every.CertEvery = 4 // base resolves to the default 8
+	if cacheKey(c, every) == k0 {
+		t.Fatal("cache key ignores CertEvery")
+	}
+	limit := base
+	limit.CertConflictLimit = 200000
+	if cacheKey(c, limit) == k0 {
+		t.Fatal("cache key ignores CertConflictLimit")
+	}
+
+	// The documented CertEvery default: 0 and 8 resolve identically, so
+	// they must share one entry.
+	def := base
+	def.CertEvery = 8
+	if cacheKey(c, def) != k0 {
+		t.Fatal("CertEvery 0 and its resolved default 8 produce different keys")
+	}
+
+	// For non-WCE metrics the certification knobs are inert and must not
+	// fragment the cache.
+	er := dpals.Options{Flow: dpals.DP, Metric: dpals.ER, Threshold: 0.05, Patterns: 512}
+	erKnob := er
+	erKnob.CertEvery = 4
+	erKnob.CertConflictLimit = 7
+	if cacheKey(c, erKnob) != cacheKey(c, er) {
+		t.Fatal("inert certification knobs fragment the cache for non-WCE metrics")
+	}
+}
